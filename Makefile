@@ -1,0 +1,23 @@
+# Common developer targets.
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro run all --scale 50000
+
+examples:
+	@for example in examples/*.py; do echo "== $$example"; $(PYTHON) $$example; done
+
+clean:
+	rm -rf .trace_cache .pytest_cache .benchmarks .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

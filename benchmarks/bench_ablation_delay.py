@@ -1,0 +1,48 @@
+"""Ablation: update latency (section 3.2).
+
+In a deep pipeline a branch's outcome arrives several slots after the next
+prediction of that branch may be needed.  The DelayedUpdatePredictor models
+this; accuracy should degrade monotonically with the delay, and the paper's
+predict-taken-on-unresolved rule should soften the loss on tight loops.
+"""
+
+from repro.predictors.automata import A2
+from repro.predictors.hrt import AHRT
+from repro.predictors.pattern_table import PatternTable
+from repro.predictors.two_level import DelayedUpdatePredictor, TwoLevelAdaptivePredictor
+from repro.sim.engine import simulate
+from repro.sim.results import geometric_mean
+from repro.workloads.base import get_workload, workload_names
+
+
+def _mean_accuracy(cache, scale, delay: int, predict_taken_when_pending: bool) -> float:
+    accuracies = []
+    for name in workload_names():
+        records = cache.get(get_workload(name), "test", scale).records
+        inner = TwoLevelAdaptivePredictor(AHRT(512), PatternTable(12, A2))
+        predictor = (
+            inner
+            if delay == 0
+            else DelayedUpdatePredictor(inner, delay, predict_taken_when_pending)
+        )
+        accuracies.append(simulate(predictor, records).accuracy)
+    return geometric_mean(accuracies)
+
+
+def test_ablation_update_delay(benchmark, bench_scale, bench_cache):
+    scale = min(bench_scale, 20_000)  # the delayed wrapper is slower
+
+    def run():
+        return {
+            "delay 0": _mean_accuracy(bench_cache, scale, 0, True),
+            "delay 4 (taken-if-pending)": _mean_accuracy(bench_cache, scale, 4, True),
+            "delay 4 (stall-free, no rule)": _mean_accuracy(bench_cache, scale, 4, False),
+            "delay 16 (taken-if-pending)": _mean_accuracy(bench_cache, scale, 16, True),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for label, accuracy in results.items():
+        print(f"{label:32s} {accuracy:.4f}")
+    assert results["delay 0"] >= results["delay 4 (taken-if-pending)"] - 0.001
+    assert results["delay 4 (taken-if-pending)"] >= results["delay 16 (taken-if-pending)"] - 0.002

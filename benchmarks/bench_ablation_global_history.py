@@ -1,0 +1,27 @@
+"""Ablation (future work): per-address vs global history.
+
+The paper keeps one history register per branch; later work explored a
+single global register (GAg) and the hashed gshare variant.  On the paper's
+benchmark mix — dominated by per-branch periodic behaviour — per-address
+history should win, with gshare recovering part of the gap over raw GAg.
+"""
+
+from repro.predictors.spec import parse_spec
+from repro.sim.runner import run_sweep
+
+
+def test_ablation_global_history(benchmark, bench_scale, bench_cache):
+    specs = ["AT(AHRT(512,12SR),PT(2^12,A2),)", "gshare(12)", "GAg(12)"]
+
+    def run():
+        sweep = run_sweep(specs, max_conditional=bench_scale, cache=bench_cache)
+        return {spec: sweep.mean(spec if "(" in spec else spec) for spec in sweep.schemes()}
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for scheme, mean in means.items():
+        print(f"{scheme:36s} {mean:.4f}")
+    values = list(means.values())
+    at, gshare, gag = values[0], values[1], values[2]
+    assert at > gag, (at, gag)
+    assert gshare >= gag - 0.002, (gshare, gag)

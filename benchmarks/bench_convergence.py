@@ -1,0 +1,52 @@
+"""Warm-up convergence across the suite.
+
+Adaptive training needs warm-up — the reason this reproduction's absolute
+accuracies trail a 20M-branch run.  This bench measures windowed accuracy
+for the paper's configuration on every benchmark and asserts (a) every
+benchmark converges within the trace, and (b) late-trace accuracy beats the
+first window (training genuinely adapts).
+"""
+
+from repro.predictors.spec import parse_spec
+from repro.sim.analysis import convergence_point, windowed_accuracy
+from repro.workloads.base import get_workload, workload_names
+
+AT_SPEC = "AT(AHRT(512,12SR),PT(2^12,A2),)"
+WINDOW = 4_000
+
+
+def test_convergence(benchmark, bench_scale, bench_cache):
+    scale = max(bench_scale, 24_000)  # need several windows
+
+    def run():
+        results = {}
+        for name in workload_names():
+            records = bench_cache.get(get_workload(name), "test", scale).records
+            curve = windowed_accuracy(parse_spec(AT_SPEC).build(), records, WINDOW)
+            results[name] = (curve, convergence_point(curve, tolerance=0.015))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    failures = []
+    improved = 0
+    for name, (curve, settle) in results.items():
+        summary = " ".join(f"{value:.3f}" for value in curve[:8])
+        print(f"{name:10s} settle@{settle}  {summary}")
+        if settle is None:
+            failures.append(f"{name} never converges")
+        late = sum(curve[len(curve) // 2 :]) / max(1, len(curve) - len(curve) // 2)
+        # baseline: the weaker of the first two windows (a loop-bound code
+        # can open on a trivially perfect stretch, e.g. an init loop)
+        early = min(curve[:2]) if len(curve) >= 2 else curve[0]
+        if late > early:
+            improved += 1
+        if late + 0.03 < early:
+            failures.append(
+                f"{name}: late accuracy {late:.3f} collapsed below early {early:.3f}"
+            )
+    # adaptation must help on most of the suite (a loop-bound benchmark can
+    # start its first window at a trivially perfect stretch)
+    if improved < 6:
+        failures.append(f"only {improved}/9 benchmarks improve after warm-up")
+    assert not failures, failures

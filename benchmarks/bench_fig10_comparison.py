@@ -1,0 +1,7 @@
+"""Regenerate the paper's fig10 (see repro.experiments.fig10_comparison)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig10_comparison(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "fig10", bench_scale, bench_cache)

@@ -1,0 +1,7 @@
+"""Regenerate the paper's fig3 (see repro.experiments.fig3_instruction_mix)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig3_instruction_mix(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "fig3", bench_scale, bench_cache)

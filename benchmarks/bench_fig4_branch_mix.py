@@ -1,0 +1,7 @@
+"""Regenerate the paper's fig4 (see repro.experiments.fig4_branch_mix)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig4_branch_mix(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "fig4", bench_scale, bench_cache)

@@ -1,0 +1,7 @@
+"""Regenerate the paper's fig5 (see repro.experiments.fig5_automata)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig5_automata(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "fig5", bench_scale, bench_cache)

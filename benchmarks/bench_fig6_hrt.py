@@ -1,0 +1,7 @@
+"""Regenerate the paper's fig6 (see repro.experiments.fig6_hrt)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig6_hrt(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "fig6", bench_scale, bench_cache)

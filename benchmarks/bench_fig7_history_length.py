@@ -1,0 +1,7 @@
+"""Regenerate the paper's fig7 (see repro.experiments.fig7_history_length)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig7_history_length(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "fig7", bench_scale, bench_cache)

@@ -1,0 +1,7 @@
+"""Regenerate the paper's fig8 (see repro.experiments.fig8_static_training)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig8_static_training(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "fig8", bench_scale, bench_cache)

@@ -1,0 +1,7 @@
+"""Regenerate the paper's fig9 (see repro.experiments.fig9_other_schemes)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig9_other_schemes(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "fig9", bench_scale, bench_cache)

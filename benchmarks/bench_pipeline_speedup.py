@@ -1,0 +1,52 @@
+"""Pipeline-level payoff of the paper's predictor (its motivating claim).
+
+The abstract argues the miss-rate halving translates into large performance
+gains on deep pipelines.  This bench runs the in-order front-end timing
+model over every benchmark with the paper's predictor and the best
+pre-existing run-time scheme, and asserts the speedup grows with flush
+penalty (pipeline depth) — the "deeper pipelines need better predictors"
+thesis of the introduction.
+"""
+
+from repro.predictors.spec import parse_spec
+from repro.sim.pipeline import PipelineConfig, simulate_pipeline
+from repro.workloads.base import get_workload, workload_names
+
+AT_SPEC = "AT(AHRT(512,12SR),PT(2^12,A2),)"
+LS_SPEC = "LS(AHRT(512,A2),,)"
+
+
+def _suite_cycles(cache, scale, spec, config):
+    total_cycles = 0
+    total_instructions = 0
+    for name in workload_names():
+        trace = cache.get(get_workload(name), "test", scale)
+        result = simulate_pipeline(
+            parse_spec(spec).build(), trace.records, trace.mix, config
+        )
+        total_cycles += result.cycles
+        total_instructions += result.instructions
+    return total_cycles, total_instructions
+
+
+def test_pipeline_speedup(benchmark, bench_scale, bench_cache):
+    scale = min(bench_scale, 30_000)
+    penalties = [4, 8, 16]
+
+    def run():
+        speedups = {}
+        for penalty in penalties:
+            config = PipelineConfig(issue_width=2, mispredict_penalty=penalty)
+            at_cycles, instructions = _suite_cycles(bench_cache, scale, AT_SPEC, config)
+            ls_cycles, _ = _suite_cycles(bench_cache, scale, LS_SPEC, config)
+            speedups[penalty] = (ls_cycles / at_cycles, instructions / at_cycles)
+        return speedups
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for penalty, (speedup, ipc) in speedups.items():
+        print(f"flush penalty {penalty:2d} cycles: AT speedup {speedup:.3f}x  (AT IPC {ipc:.3f})")
+
+    values = [speedup for speedup, _ in speedups.values()]
+    assert all(value > 1.0 for value in values), values
+    assert values == sorted(values), "speedup must grow with pipeline depth"

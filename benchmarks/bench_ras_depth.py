@@ -1,0 +1,40 @@
+"""Return address stack depth (section 4 methodology).
+
+"The return address prediction may miss when the return address stack
+overflows" — this bench sweeps the stack depth on the call-heavy li analog
+(recursive hanoi/queens under an interpreter) and asserts return-prediction
+accuracy is monotone in depth and saturates, plus that any stack at all
+beats a target buffer alone (returns come back to varying call sites).
+"""
+
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.target import BranchTargetBuffer, measure_target_prediction
+from repro.workloads.base import get_workload
+
+DEPTHS = [1, 2, 4, 8, 16, 64]
+
+
+def test_ras_depth(benchmark, bench_scale, bench_cache):
+    records = bench_cache.get(get_workload("li"), "test", min(bench_scale, 30_000)).records
+
+    def run():
+        no_stack = measure_target_prediction(records, BranchTargetBuffer(512))
+        by_depth = {}
+        for depth in DEPTHS:
+            stats = measure_target_prediction(
+                records, BranchTargetBuffer(512), ReturnAddressStack(depth)
+            )
+            by_depth[depth] = stats.return_accuracy
+        return no_stack.return_accuracy, by_depth
+
+    no_stack_accuracy, by_depth = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nno RAS (BTB only): {no_stack_accuracy:.4f}")
+    for depth, accuracy in by_depth.items():
+        print(f"RAS depth {depth:3d}:      {accuracy:.4f}")
+
+    accuracies = list(by_depth.values())
+    assert all(
+        later >= earlier - 1e-9 for earlier, later in zip(accuracies, accuracies[1:])
+    ), "return accuracy must be monotone in stack depth"
+    assert by_depth[64] > no_stack_accuracy, "a RAS must beat the BTB alone on returns"
+    assert by_depth[64] > 0.95, "a deep stack should predict nearly all returns"

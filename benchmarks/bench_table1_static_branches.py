@@ -1,0 +1,7 @@
+"""Regenerate the paper's table1 (see repro.experiments.table1_static_branches)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_table1_static_branches(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "table1", bench_scale, bench_cache)

@@ -1,0 +1,7 @@
+"""Regenerate the paper's table2 (see repro.experiments.table2_configs)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_table2_configs(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "table2", bench_scale, bench_cache)

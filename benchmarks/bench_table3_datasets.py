@@ -1,0 +1,7 @@
+"""Regenerate the paper's table3 (see repro.experiments.table3_datasets)."""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_table3_datasets(benchmark, bench_scale, bench_cache):
+    run_and_check(benchmark, "table3", bench_scale, bench_cache)

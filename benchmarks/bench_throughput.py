@@ -1,0 +1,61 @@
+"""Simulator throughput microbenchmarks.
+
+Unlike the figure benches (single-shot regenerations), these use
+pytest-benchmark's statistics properly: many rounds over a fixed in-memory
+trace, reporting events per second for the predictor hot paths and the
+trace-generating CPU.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.cpu import CPU
+from repro.predictors.automata import A2
+from repro.predictors.hrt import AHRT
+from repro.predictors.pattern_table import PatternTable
+from repro.predictors.spec import parse_spec
+from repro.predictors.two_level import TwoLevelAdaptivePredictor
+from repro.sim.engine import simulate
+from repro.trace.synthetic import random_program
+
+TRACE = list(random_program(static_branches=200, count=20_000, seed=5))
+
+
+def test_two_level_predictor_throughput(benchmark):
+    def run():
+        predictor = TwoLevelAdaptivePredictor(AHRT(512), PatternTable(12, A2))
+        return simulate(predictor, TRACE).accuracy
+
+    accuracy = benchmark(run)
+    assert 0.5 < accuracy <= 1.0
+
+
+def test_lee_smith_predictor_throughput(benchmark):
+    predictor_spec = parse_spec("LS(AHRT(512,A2),,)")
+
+    def run():
+        return simulate(predictor_spec.build(), TRACE).accuracy
+
+    accuracy = benchmark(run)
+    assert 0.5 < accuracy <= 1.0
+
+
+def test_cpu_interpreter_throughput(benchmark):
+    program = assemble(
+        """
+        _start:
+            li   r2, 0
+        loop:
+            addi r2, r2, 1
+            andi r3, r2, 1023
+            bnez r3, loop
+            ld   r4, 0(r5)
+            add  r4, r4, r2
+            br   loop
+        """
+    )
+
+    def run():
+        cpu = CPU(program)
+        return cpu.run(max_instructions=50_000).instructions_executed
+
+    executed = benchmark(run)
+    assert executed == 50_000

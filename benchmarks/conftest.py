@@ -1,0 +1,48 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures,
+prints the regenerated rows, and asserts the experiment's shape checks.  The
+trace scale is controlled by ``REPRO_BENCH_SCALE`` (conditional branches per
+benchmark, default 30,000 — the paper's twenty million is available to
+anyone with patience via the environment variable or the CLI).
+
+Traces are cached on disk under ``.trace_cache`` so repeated benchmark runs
+skip the CPU-simulation stage.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.base import TraceCache
+
+DEFAULT_SCALE = 30_000
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_cache() -> TraceCache:
+    cache_dir = Path(__file__).resolve().parent.parent / ".trace_cache"
+    return TraceCache(disk_dir=cache_dir)
+
+
+def run_and_check(benchmark, exp_id: str, scale: int, cache: TraceCache):
+    """Regenerate one experiment under pytest-benchmark and assert shape."""
+    from repro.experiments import get_experiment
+
+    spec = get_experiment(exp_id)
+    report = benchmark.pedantic(
+        lambda: spec.run(max_conditional=scale, cache=cache), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    failures = report.failures()
+    assert not failures, "shape checks failed:\n" + "\n".join(map(str, failures))
+    return report

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a branch predictor for a deep-pipelined core.
+
+Reproduces the paper's Figure 10 decision: given a fixed hardware budget
+(512-entry tables), which prediction scheme minimises pipeline flushes
+across a mixed integer/floating-point workload suite?
+
+Run:  python examples/compare_schemes.py [--scale N]
+"""
+
+import argparse
+
+from repro import run_sweep
+
+CANDIDATES = [
+    "AT(AHRT(512,12SR),PT(2^12,A2),)",  # the paper's scheme
+    "LS(AHRT(512,A2),,)",               # Lee & Smith 2-bit counters
+    "LS(AHRT(512,LT),,)",               # last-time prediction
+    "Profile",                          # per-branch profiling bit
+    "BTFN",                             # backward taken / forward not-taken
+    "AlwaysTaken",
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=int, default=30_000,
+                        help="conditional branches per benchmark")
+    args = parser.parse_args()
+
+    print(f"Simulating {len(CANDIDATES)} schemes over the nine-benchmark suite...")
+    sweep = run_sweep(CANDIDATES, max_conditional=args.scale)
+
+    benchmarks = sweep.benchmarks()
+    header = f"{'scheme':36s}" + "".join(f"{name[:7]:>9s}" for name in benchmarks)
+    print(f"\n{header}{'Tot':>8s}{'Int':>8s}{'FP':>8s}")
+    for scheme in sweep.schemes():
+        accuracies = sweep.accuracies(scheme)
+        cells = "".join(f"{accuracies[name]:9.3f}" for name in benchmarks)
+        print(
+            f"{scheme:36s}{cells}"
+            f"{sweep.mean(scheme):8.3f}"
+            f"{sweep.mean(scheme, 'integer'):8.3f}"
+            f"{sweep.mean(scheme, 'fp'):8.3f}"
+        )
+
+    best = max(sweep.schemes(), key=sweep.mean)
+    print(f"\nlowest flush rate: {best} (miss {1 - sweep.mean(best):.2%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands:
+
+* ``repro run <exp-id> [--scale N] [--benchmarks a,b,...]`` — regenerate a
+  paper table/figure and print it with its shape checks.
+* ``repro run all`` — regenerate everything.
+* ``repro sweep <spec> [<spec> ...]`` — simulate arbitrary Table 2
+  configuration strings over the suite.
+* ``repro trace <workload> [--dataset test|train] [--scale N] [-o FILE]`` —
+  generate a workload trace (optionally writing the binary trace file).
+* ``repro asm <file.s> [--run] [--trace FILE]`` — assemble (and optionally
+  execute) an assembly source file on the bundled ISA.
+* ``repro disasm <workload>`` — print a workload program's listing.
+* ``repro list`` — list experiments, workloads and example spec strings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments import experiment_ids, get_experiment
+from repro.isa.assembler import assemble
+from repro.isa.cpu import CPU
+from repro.isa.disassembler import disassemble_program
+from repro.sim.runner import run_sweep
+from repro.trace.encoding import write_trace
+from repro.trace.text_format import write_text_trace
+from repro.trace.stats import conditional_pc_histogram, static_branch_census, taken_rate
+from repro.workloads.base import (
+    DEFAULT_CONDITIONAL_BRANCHES,
+    default_cache,
+    get_workload,
+    workload_names,
+)
+
+
+def _parse_benchmarks(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    return [name.strip() for name in text.split(",") if name.strip()]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    failures = 0
+    for exp_id in ids:
+        spec = get_experiment(exp_id)
+        report = spec.run(
+            max_conditional=args.scale, benchmarks=benchmarks, cache=default_cache()
+        )
+        print(report.render())
+        print()
+        failures += len(report.failures())
+    if failures:
+        print(f"{failures} shape check(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = run_sweep(
+        args.specs,
+        benchmarks=_parse_benchmarks(args.benchmarks),
+        max_conditional=args.scale,
+        cache=default_cache(),
+    )
+    if args.format != "table":
+        from repro.sim.export import sweep_to_csv, sweep_to_markdown
+
+        renderer = sweep_to_csv if args.format == "csv" else sweep_to_markdown
+        print(renderer(sweep), end="" if args.format == "csv" else "\n")
+        return 0
+    benchmarks = sweep.benchmarks()
+    header = f"{'scheme':42s}" + "".join(f"{name[:8]:>10s}" for name in benchmarks)
+    header += f"{'Tot':>8s}{'Int':>8s}{'FP':>8s}"
+    print(header)
+    for scheme in sweep.schemes():
+        accuracies = sweep.accuracies(scheme)
+        cells = "".join(
+            (f"{accuracies[name]:10.4f}" if name in accuracies else f"{'--':>10s}")
+            for name in benchmarks
+        )
+        print(
+            f"{scheme:42s}{cells}"
+            f"{sweep.mean(scheme):8.4f}"
+            f"{sweep.mean(scheme, 'integer'):8.4f}"
+            f"{sweep.mean(scheme, 'fp'):8.4f}"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    trace = workload.generate(workload.dataset(args.dataset), args.scale)
+    mix = trace.mix
+    census = static_branch_census(trace.records)
+    print(f"workload:            {workload.name} [{workload.category}]")
+    print(f"data set:            {workload.dataset(args.dataset).name}")
+    print(f"instructions:        {mix.total_instructions}")
+    print(f"branches:            {mix.total_branches} ({100 * mix.branch_fraction:.1f}%)")
+    print(f"conditional:         {mix.conditional}")
+    print(f"taken rate:          {100 * taken_rate(trace.records):.1f}%")
+    print(f"static conditional:  {census.static_conditional}")
+    if args.hot:
+        histogram = conditional_pc_histogram(trace.records)
+        total = sum(histogram.values())
+        print(f"\nhottest {args.hot} conditional branch sites:")
+        for pc in sorted(histogram, key=histogram.get, reverse=True)[: args.hot]:
+            share = histogram[pc] / total
+            print(f"  {pc:#010x}  {histogram[pc]:>8d} executions  ({share:6.2%})")
+    if args.output:
+        writer = write_text_trace if args.output.endswith(".txt") else write_trace
+        count = writer(trace.records, args.output)
+        print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    with open(args.source) as handle:
+        source = handle.read()
+    program = assemble(source)
+    print(f"assembled {len(program)} instructions, {len(program.data)} data words")
+    if args.listing:
+        print(disassemble_program(program))
+    if args.run or args.trace:
+        cpu = CPU(program)
+        result = cpu.run(
+            max_instructions=args.max_instructions,
+            max_conditional_branches=args.scale,
+        )
+        mix = result.mix
+        print(f"executed {result.instructions_executed} instructions"
+              f" ({'halted' if result.halted else 'limit reached'})")
+        print(f"branches: {mix.total_branches} ({mix.conditional} conditional)")
+        print(f"taken rate: {100 * taken_rate(result.branch_records):.1f}%")
+        if args.trace:
+            writer = write_text_trace if args.trace.endswith(".txt") else write_trace
+            count = writer(result.branch_records, args.trace)
+            print(f"wrote {count} records to {args.trace}")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    program = assemble(workload.build_source(workload.dataset(args.dataset)))
+    print(disassemble_program(program))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    del args
+    print("Experiments:")
+    for exp_id in experiment_ids():
+        spec = get_experiment(exp_id)
+        print(f"  {exp_id:8s} {spec.paper_ref:22s} {spec.title}")
+    print("\nWorkloads:")
+    for name in workload_names():
+        workload = get_workload(name)
+        roles = ", ".join(sorted(workload.datasets))
+        print(f"  {name:10s} [{workload.category:7s}] data sets: {roles}")
+    print("\nExample predictor specs:")
+    for example in (
+        "AT(AHRT(512,12SR),PT(2^12,A2),)",
+        "ST(IHRT(,12SR),PT(2^12,PB),Diff)",
+        "LS(AHRT(512,A2),,)",
+        "BTFN",
+        "gshare(12)",
+    ):
+        print(f"  {example}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Yeh & Patt's Two-Level Adaptive Training (MICRO 1991)",
+    )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="regenerate a paper table/figure")
+    run_parser.add_argument("experiment", help="experiment id (fig3..fig10, table1, table2) or 'all'")
+    run_parser.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_CONDITIONAL_BRANCHES,
+        help="conditional branches simulated per benchmark (paper: 20,000,000)",
+    )
+    run_parser.add_argument("--benchmarks", help="comma-separated workload subset")
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="simulate arbitrary predictor specs")
+    sweep_parser.add_argument("specs", nargs="+", help="Table 2 configuration strings")
+    sweep_parser.add_argument("--scale", type=int, default=DEFAULT_CONDITIONAL_BRANCHES)
+    sweep_parser.add_argument("--benchmarks", help="comma-separated workload subset")
+    sweep_parser.add_argument(
+        "--format", choices=("table", "csv", "markdown"), default="table",
+        help="output format",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    trace_parser = sub.add_parser("trace", help="generate a workload trace")
+    trace_parser.add_argument("workload", choices=workload_names())
+    trace_parser.add_argument("--dataset", default="test", choices=("test", "train"))
+    trace_parser.add_argument("--scale", type=int, default=DEFAULT_CONDITIONAL_BRANCHES)
+    trace_parser.add_argument(
+        "--hot", type=int, default=0, metavar="N",
+        help="also print the N hottest conditional branch sites",
+    )
+    trace_parser.add_argument(
+        "-o", "--output",
+        help="write the trace to this path (binary; .txt selects the text format)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    asm_parser = sub.add_parser("asm", help="assemble (and run) an assembly file")
+    asm_parser.add_argument("source", help="assembly source file")
+    asm_parser.add_argument("--run", action="store_true", help="execute after assembling")
+    asm_parser.add_argument("--listing", action="store_true", help="print the disassembly")
+    asm_parser.add_argument("--trace", help="run and write the branch trace here")
+    asm_parser.add_argument("--scale", type=int, default=None,
+                            help="stop after this many conditional branches")
+    asm_parser.add_argument("--max-instructions", type=int, default=1_000_000)
+    asm_parser.set_defaults(func=_cmd_asm)
+
+    disasm_parser = sub.add_parser("disasm", help="disassemble a workload program")
+    disasm_parser.add_argument("workload", choices=workload_names())
+    disasm_parser.add_argument("--dataset", default="test", choices=("test", "train"))
+    disasm_parser.set_defaults(func=_cmd_disasm)
+
+    list_parser = sub.add_parser("list", help="list experiments and workloads")
+    list_parser.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an application boundary.  Subsystems define
+narrower classes below it; raising a bare ``ValueError`` from library code is
+reserved for genuine programming errors (bad types, impossible arguments).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class AssemblyError(ReproError):
+    """A source program could not be assembled.
+
+    Carries the source line number when known so tooling can point at the
+    offending line.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded to, or decoded from, binary."""
+
+
+class ExecutionError(ReproError):
+    """The CPU interpreter hit a fault (bad opcode, unmapped jump, ...)."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        self.pc = pc
+        if pc is not None:
+            message = f"pc={pc:#010x}: {message}"
+        super().__init__(message)
+
+
+class TraceFormatError(ReproError):
+    """A trace file or stream is malformed."""
+
+
+class ConfigError(ReproError):
+    """A predictor or experiment configuration is invalid."""
+
+
+class SpecParseError(ConfigError):
+    """A predictor specification string (Table 2 naming convention) is
+    syntactically or semantically invalid."""
+
+
+class WorkloadError(ReproError):
+    """A workload or data set was requested that does not exist or cannot
+    be built."""

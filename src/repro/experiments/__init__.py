@@ -1,0 +1,18 @@
+"""Experiment definitions: one module per table/figure of the paper.
+
+Each experiment module exposes ``run(...)`` returning an
+:class:`~repro.experiments.reporting.ExperimentReport`, which carries the
+regenerated rows/series, a plain-text rendering, and the list of *shape
+checks* — the qualitative claims of the paper that the reproduction asserts
+(orderings, bands, crossovers), as opposed to absolute numbers which depend
+on the substituted workloads and trace scale.
+
+Use :func:`~repro.experiments.registry.get_experiment` /
+:func:`~repro.experiments.registry.experiment_ids` for programmatic access,
+or ``python -m repro run <id>`` from the command line.
+"""
+
+from repro.experiments.registry import experiment_ids, get_experiment
+from repro.experiments.reporting import ExperimentReport, ShapeCheck
+
+__all__ = ["ExperimentReport", "ShapeCheck", "experiment_ids", "get_experiment"]

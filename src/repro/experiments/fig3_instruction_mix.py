@@ -1,0 +1,101 @@
+"""Figure 3: distribution of dynamic instructions.
+
+The paper reports about 24 percent of dynamic instructions being branches
+for the integer benchmarks and about 5 percent for the floating-point
+benchmarks.  This experiment regenerates the per-benchmark instruction mix
+from the analog traces and checks those demographics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.reporting import ExperimentReport, ShapeCheck, band_check
+from repro.workloads.base import (
+    DEFAULT_CONDITIONAL_BRANCHES,
+    FLOATING_POINT,
+    INTEGER,
+    TraceCache,
+    default_cache,
+    get_workload,
+    workload_names,
+)
+
+
+def run(
+    max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
+    benchmarks: Optional[Sequence[str]] = None,
+    cache: Optional[TraceCache] = None,
+) -> ExperimentReport:
+    cache = cache if cache is not None else default_cache()
+    names = list(benchmarks) if benchmarks is not None else workload_names()
+
+    rows = []
+    by_category: dict = {INTEGER: [], FLOATING_POINT: []}
+    for name in names:
+        workload = get_workload(name)
+        mix = cache.get(workload, "test", max_conditional).mix
+        rows.append(
+            {
+                "benchmark": name,
+                "category": workload.category,
+                "instructions": mix.total_instructions,
+                "branches": mix.total_branches,
+                "branch %": 100.0 * mix.branch_fraction,
+                "non-branch %": 100.0 * (1.0 - mix.branch_fraction),
+            }
+        )
+        by_category.setdefault(workload.category, []).append(mix.branch_fraction)
+
+    checks = []
+    int_fractions = by_category.get(INTEGER, [])
+    fp_fractions = by_category.get(FLOATING_POINT, [])
+    if int_fractions:
+        mean_int = sum(int_fractions) / len(int_fractions)
+        checks.append(
+            band_check(
+                "integer benchmarks: ~24% of dynamic instructions are branches",
+                mean_int,
+                0.15,
+                0.45,
+            )
+        )
+    if fp_fractions:
+        mean_fp = sum(fp_fractions) / len(fp_fractions)
+        checks.append(
+            band_check(
+                "FP benchmarks: ~5% of dynamic instructions are branches",
+                mean_fp,
+                0.02,
+                0.20,
+            )
+        )
+    if int_fractions and fp_fractions:
+        checks.append(
+            ShapeCheck(
+                "integer codes are branchier than FP codes",
+                min(int_fractions) > min(fp_fractions)
+                and (sum(int_fractions) / len(int_fractions))
+                > (sum(fp_fractions) / len(fp_fractions)),
+                f"int mean={sum(int_fractions)/len(int_fractions):.3f}, "
+                f"fp mean={sum(fp_fractions)/len(fp_fractions):.3f}",
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                "fpppp has the smallest branch fraction of the suite",
+                "fpppp" not in names
+                or min(rows, key=lambda row: row["branch %"])["benchmark"] == "fpppp",
+            )
+        )
+
+    return ExperimentReport(
+        exp_id="fig3",
+        title="Distribution of dynamic instructions",
+        rows=rows,
+        shape_checks=checks,
+        notes=(
+            f"Traces capped at {max_conditional} conditional branches per benchmark "
+            "(the paper uses twenty million; demographics stabilise far earlier)."
+        ),
+    )

@@ -1,0 +1,58 @@
+"""Figure 7: effect of the history register length.
+
+The paper lengthens the history register from 6 to 12 bits in steps of two
+and observes roughly +0.5 percent per step until the asymptote.  Longer
+histories both distinguish longer patterns and slow warm-up, so the check is
+monotonicity with a small tolerance plus a meaningful total gain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.reporting import (
+    ExperimentReport,
+    ShapeCheck,
+    ordering_check,
+    sweep_rows,
+)
+from repro.sim.runner import run_sweep
+from repro.workloads.base import DEFAULT_CONDITIONAL_BRANCHES, TraceCache
+
+SPECS = [
+    "AT(AHRT(512,12SR),PT(2^12,A2),)",
+    "AT(AHRT(512,10SR),PT(2^10,A2),)",
+    "AT(AHRT(512,8SR),PT(2^8,A2),)",
+    "AT(AHRT(512,6SR),PT(2^6,A2),)",
+]
+LABELS = ["12SR", "10SR", "8SR", "6SR"]
+
+
+def run(
+    max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
+    benchmarks: Optional[Sequence[str]] = None,
+    cache: Optional[TraceCache] = None,
+) -> ExperimentReport:
+    sweep = run_sweep(SPECS, benchmarks, max_conditional, cache)
+    means = [sweep.mean(spec) for spec in SPECS]
+
+    checks = [
+        ordering_check(
+            "accuracy improves with history length (12 >= 10 >= 8 >= 6, small tolerance)",
+            means,
+            LABELS,
+            tolerance=0.004,
+        ),
+        ShapeCheck(
+            "12-bit history clearly beats 6-bit history",
+            means[0] > means[-1] + 0.01,
+            f"12SR={means[0]:.4f} 6SR={means[-1]:.4f}",
+        ),
+    ]
+    return ExperimentReport(
+        exp_id="fig7",
+        title="AT schemes using history registers of different lengths",
+        rows=sweep_rows(sweep),
+        shape_checks=checks,
+        sweep=sweep,
+    )

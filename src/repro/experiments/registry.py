@@ -1,0 +1,136 @@
+"""Experiment index: id -> (title, paper artefact, run function).
+
+The ids follow the paper's artefact numbering: ``fig3`` .. ``fig10``,
+``table1`` .. ``table3`` (table3 is exercised inside fig8, which consumes
+the training/testing data-set pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+from repro.experiments.reporting import ExperimentReport
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata plus the callable that regenerates one paper artefact."""
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    run: Callable[..., ExperimentReport]
+
+
+def _load() -> Dict[str, ExperimentSpec]:
+    # imported lazily to keep `import repro` light and cycle-free
+    from repro.experiments import (
+        fig3_instruction_mix,
+        fig4_branch_mix,
+        fig5_automata,
+        fig6_hrt,
+        fig7_history_length,
+        fig8_static_training,
+        fig9_other_schemes,
+        fig10_comparison,
+        table1_static_branches,
+        table2_configs,
+        table3_datasets,
+    )
+
+    specs = [
+        ExperimentSpec(
+            "fig3",
+            "Distribution of dynamic instructions",
+            "Figure 3",
+            fig3_instruction_mix.run,
+        ),
+        ExperimentSpec(
+            "fig4",
+            "Distribution of dynamic branch instructions",
+            "Figure 4",
+            fig4_branch_mix.run,
+        ),
+        ExperimentSpec(
+            "table1",
+            "Static conditional branches per benchmark",
+            "Table 1",
+            table1_static_branches.run,
+        ),
+        ExperimentSpec(
+            "table2",
+            "Configurations of simulated branch predictors",
+            "Table 2",
+            table2_configs.run,
+        ),
+        ExperimentSpec(
+            "table3",
+            "Training and testing data sets of each benchmark",
+            "Table 3",
+            table3_datasets.run,
+        ),
+        ExperimentSpec(
+            "fig5",
+            "Two-Level Adaptive Training: state transition automata",
+            "Figure 5",
+            fig5_automata.run,
+        ),
+        ExperimentSpec(
+            "fig6",
+            "Two-Level Adaptive Training: HRT implementations",
+            "Figure 6",
+            fig6_hrt.run,
+        ),
+        ExperimentSpec(
+            "fig7",
+            "Two-Level Adaptive Training: history register length",
+            "Figure 7",
+            fig7_history_length.run,
+        ),
+        ExperimentSpec(
+            "fig8",
+            "Static Training: Same vs Diff data sets (Table 3 pairs)",
+            "Figure 8 (and Table 3)",
+            fig8_static_training.run,
+        ),
+        ExperimentSpec(
+            "fig9",
+            "BTB designs, BTFN, Always Taken, Profiling",
+            "Figure 9",
+            fig9_other_schemes.run,
+        ),
+        ExperimentSpec(
+            "fig10",
+            "Comparison of branch prediction schemes",
+            "Figure 10",
+            fig10_comparison.run,
+        ),
+    ]
+    return {spec.exp_id: spec for spec in specs}
+
+
+_SPECS: "Dict[str, ExperimentSpec] | None" = None
+
+
+def _specs() -> Dict[str, ExperimentSpec]:
+    global _SPECS
+    if _SPECS is None:
+        _SPECS = _load()
+    return _SPECS
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids, in paper order."""
+    return list(_specs())
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (``fig5``, ``table1`` ...)."""
+    try:
+        return _specs()[exp_id]
+    except KeyError as exc:
+        raise ConfigError(
+            f"unknown experiment {exp_id!r}; available: {experiment_ids()}"
+        ) from exc

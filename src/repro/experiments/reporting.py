@@ -1,0 +1,132 @@
+"""Shared result/reporting types for the experiments.
+
+An experiment's deliverable is an :class:`ExperimentReport`: the regenerated
+data (rows keyed like the paper's axes), a human-readable rendering in the
+style of the paper's figures, and explicit :class:`ShapeCheck` assertions.
+The benchmark harness fails if any shape check fails, so a regression in any
+substrate is caught by the same code that regenerates the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.results import SweepResult
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper, verified against our data."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.description}{suffix}"
+
+
+@dataclass
+class ExperimentReport:
+    """The regenerated artefact for one table/figure."""
+
+    exp_id: str
+    title: str
+    rows: List[Dict[str, object]]
+    shape_checks: List[ShapeCheck] = field(default_factory=list)
+    notes: str = ""
+    sweep: Optional[SweepResult] = None
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.shape_checks)
+
+    def failures(self) -> List[ShapeCheck]:
+        return [check for check in self.shape_checks if not check.passed]
+
+    def render(self) -> str:
+        """Plain-text rendering: title, table, shape checks, notes."""
+        lines = [f"== {self.exp_id}: {self.title} ==", ""]
+        lines.append(render_table(self.rows))
+        if self.shape_checks:
+            lines.append("")
+            lines.append("Shape checks:")
+            lines.extend(f"  {check}" for check in self.shape_checks)
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def render_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Format dict-rows as an aligned ASCII table.
+
+    Column order follows the first row's key order; floats print with three
+    decimals (accuracies), everything else via ``str``.
+    """
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), *(len(cell(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    body = [
+        "  ".join(cell(row.get(column, "")).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def sweep_rows(sweep: SweepResult, label: str = "scheme") -> List[Dict[str, object]]:
+    """Standard figure rows: per-benchmark accuracies plus the paper's three
+    geometric-mean columns, one row per scheme."""
+    rows: List[Dict[str, object]] = []
+    benchmarks = sweep.benchmarks()
+    for scheme in sweep.schemes():
+        accuracies = sweep.accuracies(scheme)
+        row: Dict[str, object] = {label: scheme}
+        for benchmark in benchmarks:
+            row[benchmark] = accuracies.get(benchmark, float("nan"))
+        row["Tot G Mean"] = sweep.mean(scheme)
+        row["Int G Mean"] = sweep.mean(scheme, "integer")
+        row["FP G Mean"] = sweep.mean(scheme, "fp")
+        rows.append(row)
+    return rows
+
+
+def ordering_check(
+    description: str, values: Sequence[float], labels: Sequence[str], tolerance: float = 0.0
+) -> ShapeCheck:
+    """Check that ``values`` are non-increasing (first is best), allowing each
+    adjacent pair to violate by at most ``tolerance``."""
+    violations = []
+    for index in range(len(values) - 1):
+        if values[index] + tolerance < values[index + 1]:
+            violations.append(
+                f"{labels[index]}={values[index]:.4f} < {labels[index + 1]}={values[index + 1]:.4f}"
+            )
+    detail = "; ".join(
+        f"{label}={value:.4f}" for label, value in zip(labels, values)
+    )
+    if violations:
+        detail += " | violated: " + "; ".join(violations)
+    return ShapeCheck(description, not violations, detail)
+
+
+def band_check(description: str, value: float, low: float, high: float) -> ShapeCheck:
+    """Check that a value falls inside a coarse band."""
+    return ShapeCheck(
+        description, low <= value <= high, f"value={value:.4f}, band=[{low}, {high}]"
+    )

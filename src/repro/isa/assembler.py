@@ -1,0 +1,400 @@
+"""Two-pass assembler for the repro ISA.
+
+Source syntax::
+
+    ; full-line or trailing comment ("#" also starts a comment)
+    _start:
+        li    r2, 100           ; pseudo: load 32-bit immediate
+        li    r3, table         ; symbols resolve to absolute addresses
+    loop:
+        ld    r4, 0(r3)         ; word load, numeric offset only
+        addi  r3, r3, 4
+        addi  r2, r2, -1
+        bgt   r2, r0, loop      ; conditional branch to label
+        halt
+    .data
+    table:  .word 1, 2, 0x10, end-4
+    buf:    .space 64           ; 64 zero words
+
+Constants can be named with ``.equ NAME, expression`` (usable anywhere an
+expression is), and ``.align N`` advances the data cursor to the next
+multiple of ``N`` words.
+
+Two passes: the first sizes every statement (pseudo-instructions expand to a
+known instruction count) and assigns label addresses; the second emits
+decoded :class:`~repro.isa.instructions.Instruction` objects with all label
+references resolved.  Text starts at ``text_base``, data at ``data_base``.
+
+Pseudo-instructions: ``li rd, expr`` (1 or 2 machine instructions), ``mov rd,
+rs``, ``subi rd, rs, imm``, ``neg rd, rs``, ``not rd, rs``, and the
+zero-compare branches ``beqz/bnez/bltz/bgez/bgtz/blez rs, label``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    B_FORMAT,
+    I_FORMAT,
+    IMM16_MAX,
+    IMM16_MIN,
+    Instruction,
+    J_FORMAT,
+    OFFSET16_MAX,
+    OFFSET16_MIN,
+    OFFSET26_MAX,
+    OFFSET26_MIN,
+    Opcode,
+    R_FORMAT,
+)
+from repro.isa.program import DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE, Program
+from repro.isa.registers import register_number
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_OPERAND_RE = re.compile(r"^(-?[\w.$+\-]*)\((\w+)\)$")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+_ZERO_BRANCH_PSEUDOS = {
+    "beqz": Opcode.BEQ,
+    "bnez": Opcode.BNE,
+    "bltz": Opcode.BLT,
+    "bgez": Opcode.BGE,
+    "bgtz": Opcode.BGT,
+    "blez": Opcode.BLE,
+}
+
+_MNEMONICS = {op.name.lower(): op for op in Opcode}
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _split_operands(rest: str, line_no: int) -> List[str]:
+    if not rest:
+        return []
+    operands = [part.strip() for part in rest.split(",")]
+    if any(not part for part in operands):
+        raise AssemblyError("empty operand", line_no)
+    return operands
+
+
+def _parse_number(token: str) -> Optional[int]:
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+@dataclass
+class _Statement:
+    """One source statement after pass 1 (sized, not yet resolved)."""
+
+    line_no: int
+    mnemonic: str
+    operands: List[str]
+    address: int
+    size_words: int
+
+
+class _Assembler:
+    def __init__(self, source: str, text_base: int, data_base: int):
+        self.source = source
+        self.text_base = text_base
+        self.data_base = data_base
+        self.symbols: Dict[str, int] = {}
+        self.statements: List[_Statement] = []
+        self.data_words: List[Tuple[int, str, int]] = []  # (address, expr, line)
+        self.instructions: List[Instruction] = []
+        self.data: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # expression evaluation (numbers, symbols, symbol +/- number)
+    # ------------------------------------------------------------------
+    def eval_expr(self, token: str, line_no: int) -> int:
+        token = token.strip()
+        value = _parse_number(token)
+        if value is not None:
+            return value
+        match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*([+-])\s*(\w+)$", token)
+        if match:
+            base = self._symbol_value(match.group(1), line_no)
+            offset = _parse_number(match.group(3))
+            if offset is None:
+                raise AssemblyError(f"bad offset in expression {token!r}", line_no)
+            return base + offset if match.group(2) == "+" else base - offset
+        if _SYMBOL_RE.match(token):
+            return self._symbol_value(token, line_no)
+        raise AssemblyError(f"cannot evaluate expression {token!r}", line_no)
+
+    def _symbol_value(self, name: str, line_no: int) -> int:
+        if name not in self.symbols:
+            raise AssemblyError(f"undefined symbol {name!r}", line_no)
+        return self.symbols[name]
+
+    # ------------------------------------------------------------------
+    # pass 1: size statements, place labels
+    # ------------------------------------------------------------------
+    def pass1(self) -> None:
+        section = "text"
+        text_cursor = self.text_base
+        data_cursor = self.data_base
+
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in self.symbols:
+                    raise AssemblyError(f"duplicate label {label!r}", line_no)
+                self.symbols[label] = text_cursor if section == "text" else data_cursor
+                line = line[match.end():].strip()
+            if not line:
+                continue
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1].strip() if len(parts) > 1 else ""
+
+            if mnemonic == ".text":
+                section = "text"
+                continue
+            if mnemonic == ".data":
+                section = "data"
+                continue
+            if mnemonic == ".equ":
+                parts_equ = _split_operands(rest, line_no)
+                if len(parts_equ) != 2:
+                    raise AssemblyError(".equ takes NAME, expression", line_no)
+                name = parts_equ[0]
+                if not _SYMBOL_RE.match(name):
+                    raise AssemblyError(f"bad .equ name {name!r}", line_no)
+                if name in self.symbols:
+                    raise AssemblyError(f"duplicate label {name!r}", line_no)
+                self.symbols[name] = self.eval_expr(parts_equ[1], line_no)
+                continue
+            if mnemonic == ".align":
+                if section != "data":
+                    raise AssemblyError(".align outside .data section", line_no)
+                count = _parse_number(rest)
+                if count is None or count < 1:
+                    raise AssemblyError(f"bad .align count {rest!r}", line_no)
+                step = 4 * count
+                data_cursor = ((data_cursor + step - 1) // step) * step
+                continue
+            if mnemonic == ".word":
+                if section != "data":
+                    raise AssemblyError(".word outside .data section", line_no)
+                for expr in _split_operands(rest, line_no):
+                    self.data_words.append((data_cursor, expr, line_no))
+                    data_cursor += 4
+                continue
+            if mnemonic == ".space":
+                if section != "data":
+                    raise AssemblyError(".space outside .data section", line_no)
+                count = _parse_number(rest)
+                if count is None or count < 0:
+                    raise AssemblyError(f"bad .space count {rest!r}", line_no)
+                data_cursor += 4 * count
+                continue
+            if mnemonic.startswith("."):
+                raise AssemblyError(f"unknown directive {mnemonic!r}", line_no)
+
+            if section != "text":
+                raise AssemblyError("instruction outside .text section", line_no)
+            operands = _split_operands(rest, line_no)
+            size = self._statement_size(mnemonic, operands, line_no)
+            self.statements.append(
+                _Statement(line_no, mnemonic, operands, text_cursor, size)
+            )
+            text_cursor += 4 * size
+
+    def _statement_size(self, mnemonic: str, operands: List[str], line_no: int) -> int:
+        if mnemonic != "li":
+            return 1
+        if len(operands) != 2:
+            raise AssemblyError("li takes 2 operands", line_no)
+        value = _parse_number(operands[1])
+        if value is not None and IMM16_MIN <= value <= IMM16_MAX:
+            return 1
+        return 2  # lui + ori (symbols always use the long form)
+
+    # ------------------------------------------------------------------
+    # pass 2: emit instructions and data
+    # ------------------------------------------------------------------
+    def pass2(self) -> None:
+        for statement in self.statements:
+            self.instructions.extend(self._emit(statement))
+        for address, expr, line_no in self.data_words:
+            self.data.append((address, self.eval_expr(expr, line_no) & 0xFFFFFFFF))
+
+    def _emit(self, st: _Statement) -> List[Instruction]:
+        mnemonic, ops, line_no = st.mnemonic, st.operands, st.line_no
+
+        # --- pseudo-instructions -------------------------------------
+        if mnemonic == "li":
+            return self._emit_li(st)
+        if mnemonic == "mov":
+            self._arity(ops, 2, line_no, "mov")
+            return [Instruction(Opcode.ADDI, rd=self._reg(ops[0], line_no),
+                                rs1=self._reg(ops[1], line_no), imm=0)]
+        if mnemonic == "subi":
+            self._arity(ops, 3, line_no, "subi")
+            imm = self.eval_expr(ops[2], line_no)
+            return [Instruction(Opcode.ADDI, rd=self._reg(ops[0], line_no),
+                                rs1=self._reg(ops[1], line_no),
+                                imm=self._check_imm16(-imm, line_no))]
+        if mnemonic == "neg":
+            self._arity(ops, 2, line_no, "neg")
+            return [Instruction(Opcode.SUB, rd=self._reg(ops[0], line_no),
+                                rs1=0, rs2=self._reg(ops[1], line_no))]
+        if mnemonic == "not":
+            self._arity(ops, 2, line_no, "not")
+            return [Instruction(Opcode.XORI, rd=self._reg(ops[0], line_no),
+                                rs1=self._reg(ops[1], line_no), imm=-1)]
+        if mnemonic in _ZERO_BRANCH_PSEUDOS:
+            self._arity(ops, 2, line_no, mnemonic)
+            opcode = _ZERO_BRANCH_PSEUDOS[mnemonic]
+            offset = self._branch_offset(ops[1], st.address, line_no, OFFSET16_MIN, OFFSET16_MAX)
+            return [Instruction(opcode, rs1=self._reg(ops[0], line_no), rs2=0, imm=offset)]
+
+        # --- machine instructions ------------------------------------
+        opcode = _MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no)
+
+        if opcode in R_FORMAT:
+            self._arity(ops, 3, line_no, mnemonic)
+            return [Instruction(opcode, rd=self._reg(ops[0], line_no),
+                                rs1=self._reg(ops[1], line_no),
+                                rs2=self._reg(ops[2], line_no))]
+        if opcode in (Opcode.LD, Opcode.ST, Opcode.LDB, Opcode.STB):
+            self._arity(ops, 2, line_no, mnemonic)
+            base, offset = self._mem_operand(ops[1], line_no)
+            return [Instruction(opcode, rd=self._reg(ops[0], line_no), rs1=base,
+                                imm=self._check_imm16(offset, line_no))]
+        if opcode is Opcode.LUI:
+            self._arity(ops, 2, line_no, mnemonic)
+            value = self.eval_expr(ops[1], line_no)
+            if not 0 <= value <= 0xFFFF:
+                raise AssemblyError(f"lui immediate out of range: {value}", line_no)
+            return [Instruction(opcode, rd=self._reg(ops[0], line_no),
+                                imm=self._as_signed16(value))]
+        if opcode in I_FORMAT:
+            self._arity(ops, 3, line_no, mnemonic)
+            imm = self.eval_expr(ops[2], line_no)
+            if opcode in (Opcode.ANDI, Opcode.ORI, Opcode.XORI):
+                if not -(1 << 15) <= imm <= 0xFFFF:
+                    raise AssemblyError(f"imm16 out of range: {imm}", line_no)
+                imm = self._as_signed16(imm & 0xFFFF)
+            else:
+                imm = self._check_imm16(imm, line_no)
+            return [Instruction(opcode, rd=self._reg(ops[0], line_no),
+                                rs1=self._reg(ops[1], line_no), imm=imm)]
+        if opcode in B_FORMAT:
+            self._arity(ops, 3, line_no, mnemonic)
+            offset = self._branch_offset(ops[2], st.address, line_no, OFFSET16_MIN, OFFSET16_MAX)
+            return [Instruction(opcode, rs1=self._reg(ops[0], line_no),
+                                rs2=self._reg(ops[1], line_no), imm=offset)]
+        if opcode in (Opcode.BR, Opcode.BSR):
+            self._arity(ops, 1, line_no, mnemonic)
+            offset = self._branch_offset(ops[0], st.address, line_no, OFFSET26_MIN, OFFSET26_MAX)
+            return [Instruction(opcode, imm=offset)]
+        if opcode in (Opcode.JMP, Opcode.JSR):
+            self._arity(ops, 1, line_no, mnemonic)
+            return [Instruction(opcode, rs1=self._reg(ops[0], line_no))]
+        if opcode in (Opcode.RTS, Opcode.NOP, Opcode.HALT):
+            self._arity(ops, 0, line_no, mnemonic)
+            return [Instruction(opcode)]
+        raise AssemblyError(f"unhandled opcode {opcode!r}", line_no)  # pragma: no cover
+
+    def _emit_li(self, st: _Statement) -> List[Instruction]:
+        self._arity(st.operands, 2, st.line_no, "li")
+        rd = self._reg(st.operands[0], st.line_no)
+        value = self.eval_expr(st.operands[1], st.line_no) & 0xFFFFFFFF
+        if st.size_words == 1:
+            signed = value if value <= IMM16_MAX else value - (1 << 32)
+            return [Instruction(Opcode.ADDI, rd=rd, rs1=0,
+                                imm=self._check_imm16(signed, st.line_no))]
+        high, low = value >> 16, value & 0xFFFF
+        emitted = [Instruction(Opcode.LUI, rd=rd, imm=self._as_signed16(high))]
+        emitted.append(Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=self._as_signed16(low)))
+        return emitted
+
+    # ------------------------------------------------------------------
+    # operand helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _arity(ops: List[str], expected: int, line_no: int, name: str) -> None:
+        if len(ops) != expected:
+            raise AssemblyError(
+                f"{name} takes {expected} operand(s), got {len(ops)}", line_no
+            )
+
+    @staticmethod
+    def _reg(token: str, line_no: int) -> int:
+        try:
+            return register_number(token)
+        except AssemblyError as exc:
+            raise AssemblyError(str(exc), line_no) from None
+
+    def _mem_operand(self, token: str, line_no: int) -> Tuple[int, int]:
+        match = _MEM_OPERAND_RE.match(token.replace(" ", ""))
+        if not match:
+            raise AssemblyError(f"bad memory operand {token!r}", line_no)
+        offset_text = match.group(1) or "0"
+        offset = self.eval_expr(offset_text, line_no)
+        return self._reg(match.group(2), line_no), offset
+
+    def _branch_offset(
+        self, token: str, pc: int, line_no: int, lo: int, hi: int
+    ) -> int:
+        target = self.eval_expr(token, line_no)
+        delta = target - (pc + 4)
+        if delta & 3:
+            raise AssemblyError(f"branch target {target:#x} not word-aligned", line_no)
+        offset = delta >> 2
+        if not lo <= offset <= hi:
+            raise AssemblyError(f"branch offset out of range: {offset}", line_no)
+        return offset
+
+    @staticmethod
+    def _check_imm16(value: int, line_no: int) -> int:
+        if not IMM16_MIN <= value <= IMM16_MAX:
+            raise AssemblyError(f"imm16 out of range: {value}", line_no)
+        return value
+
+    @staticmethod
+    def _as_signed16(value: int) -> int:
+        return value - (1 << 16) if value & 0x8000 else value
+
+
+def assemble(
+    source: str,
+    text_base: int = DEFAULT_TEXT_BASE,
+    data_base: int = DEFAULT_DATA_BASE,
+) -> Program:
+    """Assemble ``source`` into a :class:`~repro.isa.program.Program`.
+
+    Raises :class:`~repro.errors.AssemblyError` with the offending line
+    number on any syntax or range error.
+    """
+    assembler = _Assembler(source, text_base, data_base)
+    assembler.pass1()
+    assembler.pass2()
+    return Program(
+        instructions=assembler.instructions,
+        data=assembler.data,
+        symbols=assembler.symbols,
+        text_base=text_base,
+    )

@@ -1,0 +1,341 @@
+"""Instruction-level interpreter with branch-trace hooks.
+
+This is the counterpart of the paper's Motorola 88100 ISIM: it executes an
+assembled :class:`~repro.isa.program.Program`, counts the dynamic
+instruction mix per class (Figures 3 and 4), and records a
+:class:`~repro.trace.record.BranchRecord` for every executed branch.
+
+The ``run`` loop is deliberately written as one flat dispatch chain over
+integer opcode values with everything hot cached in locals — this is the
+single performance-critical function in the repository (every trace event
+passes through it), so readability concessions are confined here and the
+instruction semantics are each a line or two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ExecutionError
+from repro.isa.instructions import Opcode
+from repro.isa.memory import Memory
+from repro.isa.program import Program
+from repro.trace.record import BranchClass, BranchRecord, InstructionMix
+
+_WORD = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+def _signed(value: int) -> int:
+    """Interpret a 32-bit unsigned register value as signed."""
+    return value - 0x100000000 if value & _SIGN else value
+
+
+@dataclass
+class CPUResult:
+    """Outcome of one :meth:`CPU.run` call."""
+
+    mix: InstructionMix
+    branch_records: List[BranchRecord]
+    instructions_executed: int
+    halted: bool
+    final_pc: int
+
+    @property
+    def conditional_branches(self) -> int:
+        return self.mix.conditional
+
+
+class CPU:
+    """The interpreter.
+
+    Args:
+        program: assembled program; its data segment is loaded into memory.
+        memory: optional pre-populated :class:`~repro.isa.memory.Memory`
+            (a fresh one is created otherwise).
+
+    Registers are exposed as the ``regs`` list for tests and for workloads
+    that want to pass parameters in registers. ``r0`` reads as zero; writes
+    to it are discarded.
+    """
+
+    def __init__(self, program: Program, memory: Optional[Memory] = None):
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        for address, word in program.data:
+            self.memory.store_word(address, word)
+        self.regs: List[int] = [0] * 32
+        self.pc = program.entry
+        self.halted = False
+
+    def run(
+        self,
+        max_instructions: Optional[int] = None,
+        max_conditional_branches: Optional[int] = None,
+        collect_branches: bool = True,
+    ) -> CPUResult:
+        """Execute until HALT or a limit is reached.
+
+        Args:
+            max_instructions: stop after this many dynamic instructions.
+            max_conditional_branches: stop after this many conditional
+                branches have executed (the paper's per-benchmark cap).
+            collect_branches: when False, branch records are not retained
+                (mix statistics are still counted) — useful for mix-only runs.
+        """
+        program = self.program
+        instrs = program.instructions
+        text_base = program.text_base
+        n_instrs = len(instrs)
+        memory = self.memory
+        mem_words = memory._words  # noqa: SLF001 - hot path, same package
+        regs = self.regs
+        pc = self.pc
+
+        records: List[BranchRecord] = []
+        append = records.append if collect_branches else None
+
+        # Mix counters (locals; folded into InstructionMix at the end).
+        n_cond = n_ret = n_imm_unc = n_reg_unc = n_non = 0
+        executed = 0
+        halted = False
+
+        limit_i = max_instructions if max_instructions is not None else -1
+        limit_b = max_conditional_branches if max_conditional_branches is not None else -1
+
+        # Opcode integer constants, cached as locals.
+        NOP, HALT = int(Opcode.NOP), int(Opcode.HALT)
+        ADD, SUB, MUL, DIVS, REMS = (
+            int(Opcode.ADD), int(Opcode.SUB), int(Opcode.MUL),
+            int(Opcode.DIVS), int(Opcode.REMS),
+        )
+        AND_, OR_, XOR_ = int(Opcode.AND), int(Opcode.OR), int(Opcode.XOR)
+        SHL, SHR, SRA = int(Opcode.SHL), int(Opcode.SHR), int(Opcode.SRA)
+        ADDI, MULI = int(Opcode.ADDI), int(Opcode.MULI)
+        ANDI, ORI, XORI = int(Opcode.ANDI), int(Opcode.ORI), int(Opcode.XORI)
+        SHLI, SHRI, SRAI, LUI = (
+            int(Opcode.SHLI), int(Opcode.SHRI), int(Opcode.SRAI), int(Opcode.LUI),
+        )
+        LD, ST, LDB, STB = int(Opcode.LD), int(Opcode.ST), int(Opcode.LDB), int(Opcode.STB)
+        BEQ, BNE, BLT, BGE, BLE, BGT = (
+            int(Opcode.BEQ), int(Opcode.BNE), int(Opcode.BLT),
+            int(Opcode.BGE), int(Opcode.BLE), int(Opcode.BGT),
+        )
+        BR, BSR, JMP, JSR, RTS = (
+            int(Opcode.BR), int(Opcode.BSR), int(Opcode.JMP),
+            int(Opcode.JSR), int(Opcode.RTS),
+        )
+        CLS_COND = BranchClass.CONDITIONAL
+        CLS_RET = BranchClass.RETURN
+        CLS_IMM = BranchClass.IMM_UNCONDITIONAL
+        CLS_REG = BranchClass.REG_UNCONDITIONAL
+        make = BranchRecord
+
+        while True:
+            if executed == limit_i or n_cond == limit_b:
+                break
+            index = (pc - text_base) >> 2
+            if pc & 3 or not 0 <= index < n_instrs:
+                self.pc = pc
+                raise ExecutionError("instruction fetch outside text segment", pc=pc)
+            op, rd, rs1, rs2, imm = instrs[index]
+            executed += 1
+            next_pc = pc + 4
+
+            if op == ADDI:
+                if rd:
+                    regs[rd] = (regs[rs1] + imm) & _WORD
+                n_non += 1
+            elif BEQ <= op <= BGT:
+                a = regs[rs1]
+                b = regs[rs2]
+                if op == BEQ:
+                    taken = a == b
+                elif op == BNE:
+                    taken = a != b
+                else:
+                    sa = a - 0x100000000 if a & _SIGN else a
+                    sb = b - 0x100000000 if b & _SIGN else b
+                    if op == BLT:
+                        taken = sa < sb
+                    elif op == BGE:
+                        taken = sa >= sb
+                    elif op == BLE:
+                        taken = sa <= sb
+                    else:
+                        taken = sa > sb
+                target = next_pc + (imm << 2)
+                n_cond += 1
+                if append is not None:
+                    append(make(pc, CLS_COND, taken, target))
+                if taken:
+                    next_pc = target
+            elif op == LD:
+                if rd:
+                    regs[rd] = mem_words.get((regs[rs1] + imm) >> 2, 0)
+                n_non += 1
+            elif op == ST:
+                address = regs[rs1] + imm
+                mem_words[address >> 2] = regs[rd]
+                n_non += 1
+            elif op == ADD:
+                if rd:
+                    regs[rd] = (regs[rs1] + regs[rs2]) & _WORD
+                n_non += 1
+            elif op == SUB:
+                if rd:
+                    regs[rd] = (regs[rs1] - regs[rs2]) & _WORD
+                n_non += 1
+            elif op == MUL:
+                if rd:
+                    regs[rd] = (_signed(regs[rs1]) * _signed(regs[rs2])) & _WORD
+                n_non += 1
+            elif op == AND_:
+                if rd:
+                    regs[rd] = regs[rs1] & regs[rs2]
+                n_non += 1
+            elif op == OR_:
+                if rd:
+                    regs[rd] = regs[rs1] | regs[rs2]
+                n_non += 1
+            elif op == XOR_:
+                if rd:
+                    regs[rd] = regs[rs1] ^ regs[rs2]
+                n_non += 1
+            elif op == SHL:
+                if rd:
+                    regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & _WORD
+                n_non += 1
+            elif op == SHR:
+                if rd:
+                    regs[rd] = regs[rs1] >> (regs[rs2] & 31)
+                n_non += 1
+            elif op == SRA:
+                if rd:
+                    regs[rd] = (_signed(regs[rs1]) >> (regs[rs2] & 31)) & _WORD
+                n_non += 1
+            elif op == MULI:
+                if rd:
+                    regs[rd] = (_signed(regs[rs1]) * imm) & _WORD
+                n_non += 1
+            elif op == ANDI:
+                if rd:
+                    regs[rd] = regs[rs1] & (imm & 0xFFFF)
+                n_non += 1
+            elif op == ORI:
+                if rd:
+                    regs[rd] = regs[rs1] | (imm & 0xFFFF)
+                n_non += 1
+            elif op == XORI:
+                if rd:
+                    regs[rd] = regs[rs1] ^ (imm & 0xFFFF)
+                n_non += 1
+            elif op == SHLI:
+                if rd:
+                    regs[rd] = (regs[rs1] << (imm & 31)) & _WORD
+                n_non += 1
+            elif op == SHRI:
+                if rd:
+                    regs[rd] = regs[rs1] >> (imm & 31)
+                n_non += 1
+            elif op == SRAI:
+                if rd:
+                    regs[rd] = (_signed(regs[rs1]) >> (imm & 31)) & _WORD
+                n_non += 1
+            elif op == LUI:
+                if rd:
+                    regs[rd] = (imm & 0xFFFF) << 16
+                n_non += 1
+            elif op == LDB:
+                address = regs[rs1] + imm
+                word = mem_words.get(address >> 2, 0)
+                if rd:
+                    regs[rd] = (word >> ((3 - (address & 3)) * 8)) & 0xFF
+                n_non += 1
+            elif op == STB:
+                address = regs[rs1] + imm
+                windex = address >> 2
+                shift = (3 - (address & 3)) * 8
+                word = mem_words.get(windex, 0)
+                mem_words[windex] = (word & ~(0xFF << shift)) | ((regs[rd] & 0xFF) << shift)
+                n_non += 1
+            elif op == DIVS:
+                divisor = _signed(regs[rs2])
+                if divisor == 0:
+                    self.pc = pc
+                    raise ExecutionError("division by zero", pc=pc)
+                quotient = int(_signed(regs[rs1]) / divisor)  # trunc toward zero
+                if rd:
+                    regs[rd] = quotient & _WORD
+                n_non += 1
+            elif op == REMS:
+                divisor = _signed(regs[rs2])
+                if divisor == 0:
+                    self.pc = pc
+                    raise ExecutionError("division by zero", pc=pc)
+                dividend = _signed(regs[rs1])
+                if rd:
+                    regs[rd] = (dividend - int(dividend / divisor) * divisor) & _WORD
+                n_non += 1
+            elif op == BR:
+                target = next_pc + (imm << 2)
+                n_imm_unc += 1
+                if append is not None:
+                    append(make(pc, CLS_IMM, True, target))
+                next_pc = target
+            elif op == BSR:
+                target = next_pc + (imm << 2)
+                regs[1] = next_pc
+                n_imm_unc += 1
+                if append is not None:
+                    append(make(pc, CLS_IMM, True, target, True))
+                next_pc = target
+            elif op == RTS:
+                target = regs[1]
+                n_ret += 1
+                if append is not None:
+                    append(make(pc, CLS_RET, True, target))
+                next_pc = target
+            elif op == JMP:
+                target = regs[rs1]
+                n_reg_unc += 1
+                if append is not None:
+                    append(make(pc, CLS_REG, True, target))
+                next_pc = target
+            elif op == JSR:
+                target = regs[rs1]
+                regs[1] = next_pc
+                n_reg_unc += 1
+                if append is not None:
+                    append(make(pc, CLS_REG, True, target, True))
+                next_pc = target
+            elif op == NOP:
+                n_non += 1
+            elif op == HALT:
+                n_non += 1
+                halted = True
+                pc = next_pc
+                break
+            else:  # pragma: no cover - enum is closed, defensive only
+                self.pc = pc
+                raise ExecutionError(f"unimplemented opcode {op}", pc=pc)
+
+            pc = next_pc
+
+        self.pc = pc
+        self.halted = halted
+        mix = InstructionMix(
+            conditional=n_cond,
+            returns=n_ret,
+            imm_unconditional=n_imm_unc,
+            reg_unconditional=n_reg_unc,
+            non_branch=n_non,
+        )
+        return CPUResult(
+            mix=mix,
+            branch_records=records,
+            instructions_executed=executed,
+            halted=halted,
+            final_pc=pc,
+        )

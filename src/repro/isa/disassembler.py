@@ -1,0 +1,63 @@
+"""Disassembler: inverse of the assembler, for debugging and round-trip tests.
+
+Branch targets are rendered as absolute hex addresses (the assembler accepts
+numeric targets, so disassembled text re-assembles to the same program when
+placed at the same base address).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    B_FORMAT,
+    I_FORMAT,
+    Instruction,
+    Opcode,
+    R_FORMAT,
+)
+from repro.isa.program import Program
+from repro.isa.registers import register_name
+
+
+def disassemble_instruction(instruction: Instruction, pc: int) -> str:
+    """Render one instruction at byte address ``pc`` as assembly text."""
+    opcode = instruction.opcode
+    name = opcode.name.lower()
+
+    if opcode in R_FORMAT:
+        return (
+            f"{name} {register_name(instruction.rd)}, "
+            f"{register_name(instruction.rs1)}, {register_name(instruction.rs2)}"
+        )
+    if opcode in (Opcode.LD, Opcode.ST, Opcode.LDB, Opcode.STB):
+        return (
+            f"{name} {register_name(instruction.rd)}, "
+            f"{instruction.imm}({register_name(instruction.rs1)})"
+        )
+    if opcode is Opcode.LUI:
+        return f"{name} {register_name(instruction.rd)}, {instruction.imm & 0xFFFF}"
+    if opcode in I_FORMAT:
+        return (
+            f"{name} {register_name(instruction.rd)}, "
+            f"{register_name(instruction.rs1)}, {instruction.imm}"
+        )
+    if opcode in B_FORMAT:
+        target = pc + 4 + 4 * instruction.imm
+        return (
+            f"{name} {register_name(instruction.rs1)}, "
+            f"{register_name(instruction.rs2)}, {target:#x}"
+        )
+    if opcode in (Opcode.BR, Opcode.BSR):
+        target = pc + 4 + 4 * instruction.imm
+        return f"{name} {target:#x}"
+    if opcode in (Opcode.JMP, Opcode.JSR):
+        return f"{name} {register_name(instruction.rs1)}"
+    return name  # rts / nop / halt
+
+
+def disassemble_program(program: Program) -> str:
+    """Render a whole program, one ``address: text`` line per instruction."""
+    lines = []
+    for index, instruction in enumerate(program.instructions):
+        pc = program.text_base + 4 * index
+        lines.append(f"{pc:#010x}: {disassemble_instruction(instruction, pc)}")
+    return "\n".join(lines)

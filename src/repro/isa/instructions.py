@@ -1,0 +1,162 @@
+"""Instruction set definition.
+
+Fixed 32-bit instructions in four formats:
+
+* **R** — register-register ALU ops: ``op rd, rs1, rs2``
+* **I** — register-immediate ALU ops and memory ops: ``op rd, rs1, imm16``
+* **B** — conditional branches: ``op rs1, rs2, offset16`` (signed word offset
+  relative to the *next* pc)
+* **J** — unconditional control flow: ``br``/``bsr`` with a signed 26-bit word
+  offset; ``jmp``/``jsr``/``rts`` with a register.
+
+Branch classification follows the paper's section 4: ``beq``-family are
+conditional; ``rts`` is a subroutine return; ``br``/``bsr`` are immediate
+unconditional; ``jmp``/``jsr`` are unconditional on a register.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Optional
+
+from repro.trace.record import BranchClass
+
+
+class Opcode(enum.IntEnum):
+    """All machine opcodes (pseudo-instructions never reach this level)."""
+
+    NOP = 0
+    HALT = 1
+    # R-format ALU
+    ADD = 2
+    SUB = 3
+    MUL = 4
+    DIVS = 5
+    REMS = 6
+    AND = 7
+    OR = 8
+    XOR = 9
+    SHL = 10
+    SHR = 11
+    SRA = 12
+    # I-format ALU
+    ADDI = 13
+    MULI = 14
+    ANDI = 15
+    ORI = 16
+    XORI = 17
+    SHLI = 18
+    SHRI = 19
+    SRAI = 20
+    LUI = 21
+    # Memory (I-format: rd, imm16(rs1))
+    LD = 22
+    ST = 23
+    LDB = 24
+    STB = 25
+    # Conditional branches (B-format)
+    BEQ = 26
+    BNE = 27
+    BLT = 28
+    BGE = 29
+    BLE = 30
+    BGT = 31
+    # Unconditional control flow (J-format)
+    BR = 32
+    BSR = 33
+    JMP = 34
+    JSR = 35
+    RTS = 36
+
+
+R_FORMAT = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIVS,
+        Opcode.REMS,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.SRA,
+    }
+)
+
+I_FORMAT = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.MULI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SHLI,
+        Opcode.SHRI,
+        Opcode.SRAI,
+        Opcode.LUI,
+        Opcode.LD,
+        Opcode.ST,
+        Opcode.LDB,
+        Opcode.STB,
+    }
+)
+
+B_FORMAT = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT}
+)
+
+J_FORMAT = frozenset({Opcode.BR, Opcode.BSR, Opcode.JMP, Opcode.JSR, Opcode.RTS})
+
+CONDITIONAL_BRANCHES = B_FORMAT
+
+_BRANCH_CLASSES = {
+    Opcode.BEQ: BranchClass.CONDITIONAL,
+    Opcode.BNE: BranchClass.CONDITIONAL,
+    Opcode.BLT: BranchClass.CONDITIONAL,
+    Opcode.BGE: BranchClass.CONDITIONAL,
+    Opcode.BLE: BranchClass.CONDITIONAL,
+    Opcode.BGT: BranchClass.CONDITIONAL,
+    Opcode.BR: BranchClass.IMM_UNCONDITIONAL,
+    Opcode.BSR: BranchClass.IMM_UNCONDITIONAL,
+    Opcode.JMP: BranchClass.REG_UNCONDITIONAL,
+    Opcode.JSR: BranchClass.REG_UNCONDITIONAL,
+    Opcode.RTS: BranchClass.RETURN,
+}
+
+
+def branch_class_of(opcode: Opcode) -> BranchClass:
+    """Map an opcode to the paper's five-way instruction classification."""
+    return _BRANCH_CLASSES.get(opcode, BranchClass.NON_BRANCH)
+
+
+class Instruction(NamedTuple):
+    """One decoded instruction.
+
+    ``imm`` holds the I-format immediate, or the branch word offset for
+    B/J-format control flow (relative to the next pc).  Unused fields are
+    zero.  ``Instruction`` is a NamedTuple rather than a dataclass because the
+    interpreter touches millions of them and tuple field access is the
+    fastest attribute access available in CPython.
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def branch_class(self) -> BranchClass:
+        return branch_class_of(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in _BRANCH_CLASSES
+
+
+# Range limits for validation (signed immediates are two's-complement).
+IMM16_MIN, IMM16_MAX = -(1 << 15), (1 << 15) - 1
+OFFSET16_MIN, OFFSET16_MAX = -(1 << 15), (1 << 15) - 1
+OFFSET26_MIN, OFFSET26_MAX = -(1 << 25), (1 << 25) - 1

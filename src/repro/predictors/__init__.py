@@ -1,0 +1,100 @@
+"""Branch predictors: the paper's Two-Level Adaptive Training scheme and
+every comparator it is evaluated against.
+
+Public surface:
+
+* :mod:`repro.predictors.automata` — the Figure 2 pattern-history state
+  machines (Last-Time, A1, A2, A3, A4).
+* :mod:`repro.predictors.hrt` — history-register-table front-ends
+  (IHRT / AHRT / HHRT, section 3.1).
+* :mod:`repro.predictors.two_level` — the Two-Level Adaptive Training
+  predictor itself (AT), plus the section 3.2 latency-hiding variant.
+* :mod:`repro.predictors.static_training` — Lee & Smith Static Training (ST).
+* :mod:`repro.predictors.btb` — Lee & Smith Branch Target Buffer designs (LS).
+* :mod:`repro.predictors.static_schemes` — Always Taken / Not Taken, BTFN,
+  per-branch profiling.
+* :mod:`repro.predictors.ras` — return address stack (section 4 methodology).
+* :mod:`repro.predictors.spec` — the Table 2 naming-convention parser, which
+  turns strings like ``"AT(AHRT(512,12SR),PT(2^12,A2))"`` into predictors.
+* :mod:`repro.predictors.extensions` — post-paper global-history variants
+  (GAg, gshare) for the future-work ablations.
+"""
+
+from repro.predictors.automata import (
+    A1,
+    A2,
+    A3,
+    A4,
+    AUTOMATA,
+    Automaton,
+    LAST_TIME,
+    automaton_by_name,
+)
+from repro.predictors.base import ConditionalBranchPredictor, measure_accuracy
+from repro.predictors.btb import LeeSmithPredictor
+from repro.predictors.cost import StorageCost, storage_cost
+from repro.predictors.extensions import GAgPredictor, GSharePredictor
+from repro.predictors.history import ShiftRegister
+from repro.predictors.hrt import AHRT, HHRT, IHRT, HistoryRegisterTable
+from repro.predictors.pattern_table import PatternTable
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.spec import PredictorSpec, parse_spec
+from repro.predictors.target import (
+    BranchTargetBuffer,
+    TargetPredictionStats,
+    measure_target_prediction,
+)
+from repro.predictors.static_schemes import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    BTFNPredictor,
+    ProfilePredictor,
+)
+from repro.predictors.static_training import (
+    StaticTrainingPredictor,
+    profile_pattern_table,
+)
+from repro.predictors.two_level import (
+    CachedPredictionTwoLevel,
+    DelayedUpdatePredictor,
+    TwoLevelAdaptivePredictor,
+)
+
+__all__ = [
+    "A1",
+    "A2",
+    "A3",
+    "A4",
+    "AHRT",
+    "AUTOMATA",
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "BranchTargetBuffer",
+    "Automaton",
+    "BTFNPredictor",
+    "CachedPredictionTwoLevel",
+    "ConditionalBranchPredictor",
+    "DelayedUpdatePredictor",
+    "GAgPredictor",
+    "GSharePredictor",
+    "HHRT",
+    "HistoryRegisterTable",
+    "IHRT",
+    "LAST_TIME",
+    "LeeSmithPredictor",
+    "PatternTable",
+    "PredictorSpec",
+    "ProfilePredictor",
+    "ReturnAddressStack",
+    "ShiftRegister",
+    "StorageCost",
+    "StaticTrainingPredictor",
+    "TargetPredictionStats",
+    "TwoLevelAdaptivePredictor",
+    "automaton_by_name",
+    "measure_accuracy",
+    "measure_target_prediction",
+    "parse_spec",
+    "profile_pattern_table",
+    "storage_cost",
+]

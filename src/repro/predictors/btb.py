@@ -1,0 +1,48 @@
+"""Lee & Smith's Branch Target Buffer designs (section 5.3 comparator).
+
+In these designs each branch's table entry holds a prediction automaton
+directly — a 2-bit saturating counter (A2) or a last-time bit — with *no*
+second-level pattern table.  The paper writes them as ``LS(HRT(size, Atm),,)``
+with the pattern part empty.
+
+The same HRT front-ends are reused, with the payload being the automaton
+state rather than a history register.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.automata import Automaton
+from repro.predictors.base import ConditionalBranchPredictor
+from repro.predictors.hrt import HistoryRegisterTable
+
+
+class LeeSmithPredictor(ConditionalBranchPredictor):
+    """LS(HRT, automaton) — per-address automaton, no pattern level.
+
+    Args:
+        hrt: the per-branch table (IHRT / AHRT / HHRT); its ``init_payload``
+            is set to the automaton's initial state (the taken-leaning state,
+            per section 4.2) and the table is reset to apply it.
+        automaton: the per-branch machine (the paper evaluates A1-A4 and
+            Last-Time; Figure 9 shows A2 and Last-Time).
+    """
+
+    def __init__(self, hrt: HistoryRegisterTable, automaton: Automaton):
+        self.hrt = hrt
+        self.automaton = automaton
+        hrt.init_payload = automaton.init_state
+        hrt.reset()
+
+    def predict(self, pc: int, target: int) -> bool:
+        return self.automaton.predictions[self.hrt.get(pc)]
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        state = self.hrt.get(pc)
+        self.hrt.put(pc, self.automaton.transitions[state][1 if taken else 0])
+
+    def reset(self) -> None:
+        self.hrt.reset()
+
+    @property
+    def name(self) -> str:
+        return f"LS({self.hrt.spec_name}{self.automaton.name}),,)"

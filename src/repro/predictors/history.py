@@ -1,0 +1,62 @@
+"""Branch history shift register (the HR of section 2.1).
+
+A :class:`ShiftRegister` holds the last ``k`` outcomes of one branch as an
+integer: bit 0 is the most recent outcome, bit ``k-1`` the oldest.  On update
+the new outcome is shifted in at the least significant position, matching the
+paper's description of ``R`` entering the register.
+
+Hot predictor loops inline this arithmetic (``((value << 1) | taken) & mask``)
+rather than going through the class; the class is the API-boundary form used
+by tests, examples and anything that wants named operations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+
+
+class ShiftRegister:
+    """A k-bit branch-outcome shift register.
+
+    Per the paper's section 4.2, registers initialise to all ones (taken)
+    because about 60 percent of conditional branches are taken.
+    """
+
+    __slots__ = ("length", "mask", "value")
+
+    def __init__(self, length: int, value: "int | None" = None):
+        if length < 1:
+            raise ConfigError(f"history length must be >= 1, got {length}")
+        self.length = length
+        self.mask = (1 << length) - 1
+        self.value = self.mask if value is None else (value & self.mask)
+
+    def shift(self, taken: bool) -> int:
+        """Shift in one outcome; return the new register value."""
+        self.value = ((self.value << 1) | (1 if taken else 0)) & self.mask
+        return self.value
+
+    def peek_shift(self, taken: bool) -> int:
+        """The value the register *would* take, without mutating it."""
+        return ((self.value << 1) | (1 if taken else 0)) & self.mask
+
+    def bits(self) -> List[bool]:
+        """Outcomes oldest-first, as the paper writes patterns."""
+        return [bool((self.value >> position) & 1) for position in range(self.length - 1, -1, -1)]
+
+    def pattern_string(self) -> str:
+        """Render like the paper, e.g. ``"1101"`` (oldest outcome first)."""
+        return "".join("1" if bit else "0" for bit in self.bits())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShiftRegister):
+            return NotImplemented
+        return self.length == other.length and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((self.length, self.value))
+
+    def __repr__(self) -> str:
+        return f"ShiftRegister(length={self.length}, value={self.pattern_string()!r})"

@@ -1,0 +1,63 @@
+"""Return address stack (section 4 methodology).
+
+Subroutine return branches are predicted with a small hardware stack: a call
+pushes its return address; a return pops the top as the predicted target.
+Predictions can miss when the stack overflows (deep recursion wraps around
+and overwrites older entries) — the paper notes exactly this failure mode.
+
+The stack is circular: pushing onto a full stack overwrites the oldest
+entry; popping an empty stack returns ``None`` (no prediction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return address stack."""
+
+    def __init__(self, depth: int = 16):
+        if depth < 1:
+            raise ConfigError(f"RAS depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._slots: List[int] = [0] * depth
+        self._top = 0  # index one past the most recent entry (mod depth)
+        self._size = 0
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Record a call's return address."""
+        self._slots[self._top] = return_address
+        self._top = (self._top + 1) % self.depth
+        if self._size == self.depth:
+            self.overflows += 1  # overwrote the oldest entry
+        else:
+            self._size += 1
+
+    def pop(self) -> Optional[int]:
+        """Predict a return's target; ``None`` when the stack is empty."""
+        if self._size == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self.depth
+        self._size -= 1
+        return self._slots[self._top]
+
+    def peek(self) -> Optional[int]:
+        """Top of stack without popping (for tests)."""
+        if self._size == 0:
+            return None
+        return self._slots[(self._top - 1) % self.depth]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def reset(self) -> None:
+        self._top = 0
+        self._size = 0
+        self.overflows = 0
+        self.underflows = 0

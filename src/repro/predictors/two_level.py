@@ -1,0 +1,173 @@
+"""The Two-Level Adaptive Training predictor (the paper's contribution).
+
+:class:`TwoLevelAdaptivePredictor` is the section 2 scheme: a per-address
+history register table (level one) indexing a global pattern table of
+automata (level two).  Both levels update on every resolved branch, which is
+what makes the scheme *adaptive* — unlike Static Training, the
+pattern-history information tracks the current execution.
+
+:class:`CachedPredictionTwoLevel` adds the section 3.2 latency optimisation:
+the pattern-table lookup happens at *update* time with the just-shifted
+history, and the resulting prediction bit is stored alongside the history
+register, so a prediction needs only one table access.
+
+:class:`DelayedUpdatePredictor` models the other section 3.2 concern: in a
+deep pipeline the previous outcome of a branch may not have resolved when the
+next prediction is needed.  It delays updates by a configurable number of
+branch slots and (optionally, per the paper) predicts *taken* for a branch
+with an in-flight unresolved instance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.errors import ConfigError
+from repro.predictors.automata import Automaton
+from repro.predictors.base import ConditionalBranchPredictor
+from repro.predictors.hrt import HistoryRegisterTable
+from repro.predictors.pattern_table import PatternTable
+
+
+class TwoLevelAdaptivePredictor(ConditionalBranchPredictor):
+    """AT(HRT, PT) — Two-Level Adaptive Training.
+
+    Args:
+        hrt: history-register-table front-end (IHRT / AHRT / HHRT).  Its
+            ``init_payload`` is set to the all-ones history (section 4.2:
+            registers initialise to 1s because most branches are taken) and
+            the table is reset to apply it.
+        pattern_table: the shared second level.  Its ``history_length`` fixes
+            the history register width k.
+    """
+
+    def __init__(self, hrt: HistoryRegisterTable, pattern_table: PatternTable):
+        self.hrt = hrt
+        self.pattern_table = pattern_table
+        self.history_length = pattern_table.history_length
+        self._mask = (1 << self.history_length) - 1
+        hrt.init_payload = self._mask
+        hrt.reset()
+
+    def predict(self, pc: int, target: int) -> bool:
+        history = self.hrt.get(pc)
+        return self.pattern_table.predict(history)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        history = self.hrt.get(pc)
+        self.pattern_table.update(history, taken)
+        new_history = ((history << 1) | (1 if taken else 0)) & self._mask
+        self.hrt.put(pc, new_history)
+
+    def reset(self) -> None:
+        self.hrt.reset()
+        self.pattern_table.reset()
+
+    @property
+    def name(self) -> str:
+        k = self.history_length
+        return (
+            f"AT({self.hrt.spec_name}{k}SR),"
+            f"PT(2^{k},{self.pattern_table.automaton.name}),)"
+        )
+
+
+class CachedPredictionTwoLevel(ConditionalBranchPredictor):
+    """AT with the section 3.2 cached-prediction-bit mechanism.
+
+    The HRT payload packs ``prediction_bit << k | history``.  ``predict``
+    reads only the cached bit (one table access); ``update`` performs the
+    pattern-table work and refreshes the cache with the prediction for the
+    *new* history.
+
+    Behaviour differs from the plain scheme only when another branch updates
+    the shared pattern entry between this branch's update and its next
+    prediction — exactly the staleness the hardware optimisation admits.
+    """
+
+    def __init__(self, hrt: HistoryRegisterTable, pattern_table: PatternTable):
+        self.hrt = hrt
+        self.pattern_table = pattern_table
+        self.history_length = pattern_table.history_length
+        self._mask = (1 << self.history_length) - 1
+        self._pred_bit = 1 << self.history_length
+        # All-ones history; initial cached prediction matches the PT's
+        # initial (taken-leaning) state for that pattern.
+        initial_prediction = pattern_table.predict(self._mask)
+        hrt.init_payload = self._mask | (self._pred_bit if initial_prediction else 0)
+        hrt.reset()
+
+    def predict(self, pc: int, target: int) -> bool:
+        return bool(self.hrt.get(pc) & self._pred_bit)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        payload = self.hrt.get(pc)
+        history = payload & self._mask
+        self.pattern_table.update(history, taken)
+        new_history = ((history << 1) | (1 if taken else 0)) & self._mask
+        cached = self.pattern_table.predict(new_history)
+        self.hrt.put(pc, new_history | (self._pred_bit if cached else 0))
+
+    def reset(self) -> None:
+        self.hrt.reset()
+        self.pattern_table.reset()
+
+    @property
+    def name(self) -> str:
+        k = self.history_length
+        return (
+            f"AT-cached({self.hrt.spec_name}{k}SR),"
+            f"PT(2^{k},{self.pattern_table.automaton.name}),)"
+        )
+
+
+class DelayedUpdatePredictor(ConditionalBranchPredictor):
+    """Wrap any predictor so outcomes arrive ``delay`` branch slots late.
+
+    Models unresolved branches in a deep pipeline: an update enters a FIFO
+    and is applied to the wrapped predictor only after ``delay`` further
+    updates have been issued.  With ``predict_taken_when_pending`` (the
+    paper's tight-loop rule), a branch that has an unresolved instance in
+    flight is simply predicted taken instead of stalling.
+    """
+
+    def __init__(
+        self,
+        inner: ConditionalBranchPredictor,
+        delay: int,
+        predict_taken_when_pending: bool = True,
+    ):
+        if delay < 0:
+            raise ConfigError(f"delay must be >= 0, got {delay}")
+        self.inner = inner
+        self.delay = delay
+        self.predict_taken_when_pending = predict_taken_when_pending
+        self._pending: Deque[Tuple[int, int, bool]] = deque()
+
+    def predict(self, pc: int, target: int) -> bool:
+        if self.predict_taken_when_pending and any(
+            entry[0] == pc for entry in self._pending
+        ):
+            return True
+        return self.inner.predict(pc, target)
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        self._pending.append((pc, target, taken))
+        while len(self._pending) > self.delay:
+            old_pc, old_target, old_taken = self._pending.popleft()
+            self.inner.update(old_pc, old_target, old_taken)
+
+    def flush(self) -> None:
+        """Apply all in-flight updates (e.g. at end of trace)."""
+        while self._pending:
+            pc, target, taken = self._pending.popleft()
+            self.inner.update(pc, target, taken)
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self.inner.reset()
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+delay{self.delay}"

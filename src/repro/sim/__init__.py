@@ -1,0 +1,44 @@
+"""The branch-prediction simulator (section 4's methodology).
+
+:mod:`repro.sim.engine` drives one predictor over one branch trace and
+scores it; :mod:`repro.sim.runner` sweeps many configurations over many
+benchmarks with trace caching; :mod:`repro.sim.results` holds the statistics
+objects and the geometric-mean aggregation the paper's figures report.
+"""
+
+from repro.sim.analysis import (
+    PatternConflictStats,
+    convergence_point,
+    pattern_conflicts,
+    windowed_accuracy,
+)
+from repro.sim.engine import simulate
+from repro.sim.export import rows_to_markdown, sweep_to_csv, sweep_to_markdown
+from repro.sim.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
+from repro.sim.results import (
+    BenchmarkResult,
+    PredictionStats,
+    SweepResult,
+    geometric_mean,
+)
+from repro.sim.runner import SweepRunner, run_sweep
+
+__all__ = [
+    "BenchmarkResult",
+    "PatternConflictStats",
+    "PipelineConfig",
+    "PipelineResult",
+    "PredictionStats",
+    "SweepResult",
+    "SweepRunner",
+    "geometric_mean",
+    "rows_to_markdown",
+    "run_sweep",
+    "simulate",
+    "sweep_to_csv",
+    "sweep_to_markdown",
+    "simulate_pipeline",
+    "convergence_point",
+    "pattern_conflicts",
+    "windowed_accuracy",
+]

@@ -1,0 +1,136 @@
+"""Interference and convergence analysis.
+
+The paper attributes accuracy differences to two interference mechanisms —
+history interference in finite HRTs (section 3.1 / Figure 6) and the shared
+global pattern table — and to warm-up ("adaptive training").  This module
+measures all three directly from a trace, turning the paper's qualitative
+arguments into numbers:
+
+* :func:`pattern_conflicts` — for each history pattern, how contested its
+  pattern-table entry is: the fraction of updates disagreeing with the
+  entry's majority outcome.  An entry shared by branches that continue the
+  same pattern differently is the PT-interference the paper accepts as the
+  cost of a *global* second level.
+* :func:`windowed_accuracy` — accuracy over consecutive windows of the
+  trace, exposing the warm-up transient that separates adaptive schemes
+  from profiled ones at short trace scales.
+* :func:`convergence_point` — the first window from which accuracy stays
+  within a tolerance of its final level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.predictors.base import ConditionalBranchPredictor
+from repro.trace.record import BranchClass, BranchRecord
+
+
+@dataclass
+class PatternConflictStats:
+    """Contestedness of the shared pattern table for one trace."""
+
+    history_length: int
+    updates_total: int
+    minority_updates: int
+    contested_patterns: int
+    patterns_used: int
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of pattern-table updates that went against the entry's
+        majority — an upper bound on the accuracy lost to PT sharing."""
+        return self.minority_updates / self.updates_total if self.updates_total else 0.0
+
+    @property
+    def contested_fraction(self) -> float:
+        """Fraction of used patterns whose continuations disagree at all."""
+        return (
+            self.contested_patterns / self.patterns_used if self.patterns_used else 0.0
+        )
+
+
+def pattern_conflicts(
+    records: Iterable[BranchRecord], history_length: int = 12
+) -> PatternConflictStats:
+    """Measure how contested each global pattern-table entry would be.
+
+    Replays per-address histories (ideal table, all-ones init, as the
+    predictor does) and tallies, per pattern, the taken/not-taken
+    continuations it receives from *all* branches combined.
+    """
+    if history_length < 1:
+        raise ConfigError(f"history length must be >= 1, got {history_length}")
+    mask = (1 << history_length) - 1
+    histories: Dict[int, int] = {}
+    taken_counts: Dict[int, int] = {}
+    total_counts: Dict[int, int] = {}
+
+    for record in records:
+        if record.cls is not BranchClass.CONDITIONAL:
+            continue
+        history = histories.get(record.pc, mask)
+        total_counts[history] = total_counts.get(history, 0) + 1
+        if record.taken:
+            taken_counts[history] = taken_counts.get(history, 0) + 1
+        histories[record.pc] = ((history << 1) | (1 if record.taken else 0)) & mask
+
+    updates = sum(total_counts.values())
+    minority = 0
+    contested = 0
+    for pattern, total in total_counts.items():
+        taken = taken_counts.get(pattern, 0)
+        smaller_side = min(taken, total - taken)
+        minority += smaller_side
+        if smaller_side:
+            contested += 1
+    return PatternConflictStats(
+        history_length=history_length,
+        updates_total=updates,
+        minority_updates=minority,
+        contested_patterns=contested,
+        patterns_used=len(total_counts),
+    )
+
+
+def windowed_accuracy(
+    predictor: ConditionalBranchPredictor,
+    records: Iterable[BranchRecord],
+    window: int = 1_000,
+) -> List[float]:
+    """Prediction accuracy over consecutive windows of ``window``
+    conditional branches (the final partial window is included)."""
+    if window < 1:
+        raise ConfigError(f"window must be >= 1, got {window}")
+    accuracies: List[float] = []
+    correct = 0
+    seen = 0
+    for record in records:
+        if record.cls is not BranchClass.CONDITIONAL:
+            continue
+        prediction = predictor.predict(record.pc, record.target)
+        predictor.update(record.pc, record.target, record.taken)
+        correct += prediction == record.taken
+        seen += 1
+        if seen == window:
+            accuracies.append(correct / window)
+            correct = seen = 0
+    if seen:
+        accuracies.append(correct / seen)
+    return accuracies
+
+
+def convergence_point(
+    accuracies: Sequence[float], tolerance: float = 0.01
+) -> Optional[int]:
+    """Index of the first window from which accuracy never drops more than
+    ``tolerance`` below the final window's level (None if it never settles)."""
+    if not accuracies:
+        return None
+    final = accuracies[-1]
+    for index in range(len(accuracies)):
+        if all(value >= final - tolerance for value in accuracies[index:]):
+            return index
+    return None  # pragma: no cover - index len-1 always qualifies

@@ -1,0 +1,79 @@
+"""The branch-prediction simulator core.
+
+Mirrors the paper's methodology: the trace is decoded into branch classes;
+conditional branches go through the direction predictor under test
+(predict, verify, update); subroutine calls and returns exercise a return
+address stack; unconditional branches need no direction prediction.
+
+The loop is kept minimal because a full sweep pushes tens of millions of
+records through it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.predictors.base import ConditionalBranchPredictor
+from repro.predictors.ras import ReturnAddressStack
+from repro.sim.results import PredictionStats
+from repro.trace.record import BranchClass, BranchRecord
+
+
+def simulate(
+    predictor: ConditionalBranchPredictor,
+    records: Iterable[BranchRecord],
+    ras: Optional[ReturnAddressStack] = None,
+) -> PredictionStats:
+    """Run ``predictor`` over ``records`` and score it.
+
+    Args:
+        predictor: the conditional-branch direction predictor under test.
+        records: a branch trace (any iterable of
+            :class:`~repro.trace.record.BranchRecord`).
+        ras: optional return address stack; when provided, call records push
+            return addresses and RETURN-class records are scored against the
+            popped prediction.
+
+    Returns the accumulated :class:`~repro.sim.results.PredictionStats`.
+    """
+    stats = PredictionStats()
+    conditional_total = 0
+    conditional_correct = 0
+    predict = predictor.predict
+    update = predictor.update
+    CONDITIONAL = BranchClass.CONDITIONAL
+    RETURN = BranchClass.RETURN
+
+    if ras is None:
+        for record in records:
+            if record.cls is CONDITIONAL:
+                pc = record.pc
+                target = record.target
+                taken = record.taken
+                conditional_total += 1
+                if predict(pc, target) == taken:
+                    conditional_correct += 1
+                update(pc, target, taken)
+    else:
+        push = ras.push
+        pop = ras.pop
+        for record in records:
+            cls = record.cls
+            if cls is CONDITIONAL:
+                pc = record.pc
+                target = record.target
+                taken = record.taken
+                conditional_total += 1
+                if predict(pc, target) == taken:
+                    conditional_correct += 1
+                update(pc, target, taken)
+            elif cls is RETURN:
+                stats.returns_total += 1
+                if pop() == record.target:
+                    stats.returns_correct += 1
+            elif record.is_call:
+                push(record.pc + 4)
+
+    stats.conditional_total = conditional_total
+    stats.conditional_correct = conditional_correct
+    return stats

@@ -1,0 +1,74 @@
+"""Result export: CSV and Markdown renderings of sweeps and reports.
+
+Downstream users regenerating the paper's figures usually want the numbers
+in a spreadsheet or a README table, not an ASCII box.  These helpers render
+:class:`~repro.sim.results.SweepResult` and experiment rows losslessly into
+both formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Sequence
+
+from repro.sim.results import SweepResult
+
+
+def _sweep_table(sweep: SweepResult) -> "tuple[List[str], List[List[object]]]":
+    benchmarks = sweep.benchmarks()
+    header = ["scheme", *benchmarks, "Tot G Mean", "Int G Mean", "FP G Mean"]
+    rows: List[List[object]] = []
+    for scheme in sweep.schemes():
+        accuracies = sweep.accuracies(scheme)
+        rows.append(
+            [
+                scheme,
+                *[accuracies.get(name, "") for name in benchmarks],
+                sweep.mean(scheme),
+                sweep.mean(scheme, "integer"),
+                sweep.mean(scheme, "fp"),
+            ]
+        )
+    return header, rows
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """Render a sweep as CSV text (one row per scheme)."""
+    header, rows = _sweep_table(sweep)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(
+            [f"{cell:.6f}" if isinstance(cell, float) else cell for cell in row]
+        )
+    return buffer.getvalue()
+
+
+def sweep_to_markdown(sweep: SweepResult, precision: int = 3) -> str:
+    """Render a sweep as a GitHub-flavoured Markdown table."""
+    header, rows = _sweep_table(sweep)
+    return rows_to_markdown(
+        [dict(zip(header, row)) for row in rows], precision=precision
+    )
+
+
+def rows_to_markdown(rows: Sequence[Dict[str, object]], precision: int = 3) -> str:
+    """Render dict-rows (e.g. ``ExperimentReport.rows``) as Markdown."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value) if value is not None else ""
+
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(row.get(column, "")) for column in columns) + " |")
+    return "\n".join(lines)

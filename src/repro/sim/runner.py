@@ -1,0 +1,132 @@
+"""Sweep orchestration: many predictor configurations x many benchmarks.
+
+This is the experiment driver behind every figure: it generates (and caches)
+each benchmark's trace once, builds each predictor configuration fresh per
+benchmark, handles Static Training's two-pass protocol (profile the training
+trace, test on the testing trace — Same or Diff data sets per Table 3), and
+collects everything into a :class:`~repro.sim.results.SweepResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.errors import WorkloadError
+from repro.predictors.spec import PredictorSpec, parse_spec
+from repro.sim.engine import simulate
+from repro.sim.results import BenchmarkResult, SweepResult
+from repro.trace.record import BranchRecord
+from repro.workloads.base import (
+    DEFAULT_CONDITIONAL_BRANCHES,
+    TraceCache,
+    Workload,
+    default_cache,
+    get_workload,
+    workload_names,
+)
+
+SpecLike = Union[str, PredictorSpec]
+
+
+def _as_spec(spec: SpecLike) -> PredictorSpec:
+    return spec if isinstance(spec, PredictorSpec) else parse_spec(spec)
+
+
+class SweepRunner:
+    """Runs predictor configurations over the benchmark suite.
+
+    Args:
+        benchmarks: workload names (defaults to all nine).
+        max_conditional: per-benchmark conditional-branch cap (the paper's
+            twenty-million equivalent; scaled for Python).
+        cache: trace cache to use (defaults to the shared process cache).
+    """
+
+    def __init__(
+        self,
+        benchmarks: Optional[Sequence[str]] = None,
+        max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
+        cache: Optional[TraceCache] = None,
+    ):
+        self.benchmarks = list(benchmarks) if benchmarks is not None else workload_names()
+        self.max_conditional = max_conditional
+        self.cache = cache if cache is not None else default_cache()
+
+    # ------------------------------------------------------------------
+    def _workload(self, name: str) -> Workload:
+        return get_workload(name)
+
+    def testing_trace(self, benchmark: str) -> List[BranchRecord]:
+        """The benchmark's testing-trace records (cached)."""
+        workload = self._workload(benchmark)
+        return self.cache.get(workload, "test", self.max_conditional).records
+
+    def training_trace(self, benchmark: str, data_mode: str) -> List[BranchRecord]:
+        """The trace a profiled scheme trains on.
+
+        ``Same`` trains on the testing trace itself (the paper's best-case
+        Static Training); ``Diff`` trains on the Table 3 training data set
+        and raises :class:`~repro.errors.WorkloadError` for the four
+        benchmarks that have none.
+        """
+        if data_mode == "Same":
+            return self.testing_trace(benchmark)
+        workload = self._workload(benchmark)
+        if not workload.has_training_set:
+            raise WorkloadError(
+                f"benchmark {benchmark!r} has no alternative training data set"
+                " (Table 3 marks it NA)"
+            )
+        return self.cache.get(workload, "train", self.max_conditional).records
+
+    # ------------------------------------------------------------------
+    def run_one(self, spec: SpecLike, benchmark: str) -> BenchmarkResult:
+        """Simulate one configuration on one benchmark."""
+        parsed = _as_spec(spec)
+        records = self.testing_trace(benchmark)
+        training: Optional[List[BranchRecord]] = None
+        if parsed.scheme == "ST":
+            training = self.training_trace(benchmark, parsed.data_mode or "Same")
+        elif parsed.scheme == "Profile":
+            # the paper's profiling scheme profiles the execution data set
+            training = records
+        predictor = parsed.build(training_records=training)
+        stats = simulate(predictor, records)
+        return BenchmarkResult(
+            scheme=parsed.canonical(), benchmark=benchmark, stats=stats
+        )
+
+    def run(
+        self,
+        specs: Iterable[SpecLike],
+        skip_unavailable: bool = True,
+    ) -> SweepResult:
+        """Run every configuration over every benchmark.
+
+        ``skip_unavailable`` silently skips (scheme, benchmark) cells that
+        cannot exist — ST-Diff on the four benchmarks without a training set
+        (the paper's Figure 8 leaves those columns blank too).
+        """
+        sweep = SweepResult()
+        for spec in specs:
+            parsed = _as_spec(spec)
+            for benchmark in self.benchmarks:
+                try:
+                    result = self.run_one(parsed, benchmark)
+                except WorkloadError:
+                    if skip_unavailable and parsed.scheme == "ST":
+                        continue
+                    raise
+                sweep.add(result, category=self._workload(benchmark).category)
+        return sweep
+
+
+def run_sweep(
+    specs: Iterable[SpecLike],
+    benchmarks: Optional[Sequence[str]] = None,
+    max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
+    cache: Optional[TraceCache] = None,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(benchmarks, max_conditional, cache)
+    return runner.run(specs)

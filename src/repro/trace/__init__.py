@@ -1,0 +1,36 @@
+"""Trace plumbing: record model, binary format, streams, statistics.
+
+This subpackage is the contract between the trace *producers* (the ISA
+simulator in :mod:`repro.isa`, the synthetic generators in
+:mod:`repro.trace.synthetic`) and the trace *consumer* (the branch-prediction
+simulator in :mod:`repro.sim`).  A trace is simply an iterable of
+:class:`~repro.trace.record.BranchRecord`.
+"""
+
+from repro.trace.record import BranchClass, BranchRecord, InstructionMix
+from repro.trace.encoding import read_trace, write_trace
+from repro.trace.stats import (
+    StaticBranchCensus,
+    collect_mix,
+    static_branch_census,
+    taken_rate,
+)
+from repro.trace.stream import limit_conditional, only_conditional, tee_records
+from repro.trace.text_format import read_text_trace, write_text_trace
+
+__all__ = [
+    "BranchClass",
+    "BranchRecord",
+    "InstructionMix",
+    "StaticBranchCensus",
+    "collect_mix",
+    "limit_conditional",
+    "only_conditional",
+    "read_text_trace",
+    "read_trace",
+    "static_branch_census",
+    "taken_rate",
+    "tee_records",
+    "write_text_trace",
+    "write_trace",
+]

@@ -1,0 +1,111 @@
+"""Compact binary trace format with writer/reader.
+
+Layout (all little-endian):
+
+* 16-byte header: magic ``b"YPTRACE1"``, ``uint32`` record count,
+  ``uint32`` reserved (zero).
+* one 13-byte record per branch: ``uint32 pc``, ``uint8`` packed class/taken
+  (bit 0 = taken, bits 1..3 = class), ``uint32 target``, ``uint32`` reserved.
+
+The format exists so long trace generations can be cached on disk (the ISA
+simulator is the expensive stage; predictor sweeps re-read the cache).  It is
+deliberately simple rather than clever — traces compress well externally if
+needed, and a fixed record size keeps the reader trivially seekable.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.errors import TraceFormatError
+from repro.trace.record import BranchClass, BranchRecord
+
+MAGIC = b"YPTRACE1"
+_HEADER = struct.Struct("<8sII")
+_RECORD = struct.Struct("<IBII")
+
+PathOrFile = Union[str, Path, IO[bytes]]
+
+
+def _pack_flags(record: BranchRecord) -> int:
+    return (
+        (1 if record.taken else 0)
+        | (int(record.cls) << 1)
+        | (0x10 if record.is_call else 0)
+    )
+
+
+def _unpack_flags(flags: int) -> "tuple[bool, BranchClass, bool]":
+    taken = bool(flags & 1)
+    is_call = bool(flags & 0x10)
+    cls_value = (flags >> 1) & 0x7
+    try:
+        cls = BranchClass(cls_value)
+    except ValueError as exc:
+        raise TraceFormatError(f"invalid branch class {cls_value}") from exc
+    if cls is BranchClass.NON_BRANCH:
+        raise TraceFormatError("NON_BRANCH records are not allowed in traces")
+    return taken, cls, is_call
+
+
+def write_trace(records: Iterable[BranchRecord], destination: PathOrFile) -> int:
+    """Write ``records`` to ``destination``; return the record count.
+
+    ``destination`` may be a path or a binary file object.  The record count
+    is written into the header, so the iterable is drained into the body
+    first.
+    """
+    body = io.BytesIO()
+    count = 0
+    for record in records:
+        body.write(
+            _RECORD.pack(record.pc & 0xFFFFFFFF, _pack_flags(record), record.target & 0xFFFFFFFF, 0)
+        )
+        count += 1
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "wb") as handle:
+            handle.write(_HEADER.pack(MAGIC, count, 0))
+            handle.write(body.getvalue())
+    else:
+        destination.write(_HEADER.pack(MAGIC, count, 0))
+        destination.write(body.getvalue())
+    return count
+
+
+def read_trace(source: PathOrFile) -> List[BranchRecord]:
+    """Read a full trace into memory.
+
+    Raises :class:`~repro.errors.TraceFormatError` on bad magic, truncated
+    body, or invalid record contents.
+    """
+    return list(iter_trace(source))
+
+
+def iter_trace(source: PathOrFile) -> Iterator[BranchRecord]:
+    """Stream records from ``source`` without materialising the whole list."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            yield from _iter_handle(handle)
+    else:
+        yield from _iter_handle(source)
+
+
+def _iter_handle(handle: IO[bytes]) -> Iterator[BranchRecord]:
+    header = handle.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, count, _reserved = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}; expected {MAGIC!r}")
+
+    for index in range(count):
+        raw = handle.read(_RECORD.size)
+        if len(raw) != _RECORD.size:
+            raise TraceFormatError(f"truncated trace body at record {index} of {count}")
+        pc, flags, target, _reserved = _RECORD.unpack(raw)
+        taken, cls, is_call = _unpack_flags(flags)
+        yield BranchRecord(pc=pc, cls=cls, taken=taken, target=target, is_call=is_call)

@@ -1,0 +1,61 @@
+"""Small combinators over branch-record streams.
+
+Traces are plain iterables of :class:`~repro.trace.record.BranchRecord`, so
+these helpers are ordinary generator functions.  They exist to keep the
+simulation and experiment code declarative (``limit_conditional(trace, n)``
+reads like the paper's "simulated for twenty million conditional branch
+instructions").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List
+
+from repro.trace.record import BranchClass, BranchRecord
+
+
+def only_conditional(records: Iterable[BranchRecord]) -> Iterator[BranchRecord]:
+    """Keep only conditional-branch records."""
+    for record in records:
+        if record.cls is BranchClass.CONDITIONAL:
+            yield record
+
+
+def limit_conditional(
+    records: Iterable[BranchRecord], max_conditional: int
+) -> Iterator[BranchRecord]:
+    """Pass records through until ``max_conditional`` conditional branches
+    have been emitted, mirroring the paper's per-benchmark simulation cap.
+
+    Non-conditional records between conditional ones are preserved; the
+    stream ends immediately after the final conditional branch.
+    """
+    if max_conditional <= 0:
+        return
+    seen = 0
+    for record in records:
+        yield record
+        if record.cls is BranchClass.CONDITIONAL:
+            seen += 1
+            if seen >= max_conditional:
+                return
+
+
+def filter_records(
+    records: Iterable[BranchRecord], predicate: Callable[[BranchRecord], bool]
+) -> Iterator[BranchRecord]:
+    """Generic predicate filter, kept for symmetry with the other helpers."""
+    return (record for record in records if predicate(record))
+
+
+def tee_records(
+    records: Iterable[BranchRecord], sink: List[BranchRecord]
+) -> Iterator[BranchRecord]:
+    """Yield records unchanged while appending each one to ``sink``.
+
+    Useful when one pass must both feed a predictor and retain the trace
+    (e.g. Static Training's profile pass followed by its test pass).
+    """
+    for record in records:
+        sink.append(record)
+        yield record

@@ -1,0 +1,113 @@
+"""Human-readable text trace format.
+
+One record per line::
+
+    # yptrace-text v1
+    0x00001040 C T 0x00001080
+    0x00001100 I T 0x00002000 call
+    0x00002010 R T 0x00001104
+
+Columns: branch pc, class letter (``C`` conditional, ``R`` return, ``I``
+immediate-unconditional, ``G`` register-unconditional), outcome (``T``/``N``),
+taken-direction target, and an optional ``call`` marker.  Lines starting
+with ``#`` and blank lines are ignored, so traces can be annotated.
+
+The binary format (:mod:`repro.trace.encoding`) is the storage format; this
+one exists for eyeballs, diffs and toolchain interchange.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.errors import TraceFormatError
+from repro.trace.record import BranchClass, BranchRecord
+
+HEADER = "# yptrace-text v1"
+
+_CLASS_TO_LETTER = {
+    BranchClass.CONDITIONAL: "C",
+    BranchClass.RETURN: "R",
+    BranchClass.IMM_UNCONDITIONAL: "I",
+    BranchClass.REG_UNCONDITIONAL: "G",
+}
+_LETTER_TO_CLASS = {letter: cls for cls, letter in _CLASS_TO_LETTER.items()}
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+def format_record(record: BranchRecord) -> str:
+    """Render one record as a text line."""
+    fields = [
+        f"{record.pc:#010x}",
+        _CLASS_TO_LETTER[record.cls],
+        "T" if record.taken else "N",
+        f"{record.target:#010x}",
+    ]
+    if record.is_call:
+        fields.append("call")
+    return " ".join(fields)
+
+
+def parse_record(line: str, line_number: int = 0) -> BranchRecord:
+    """Parse one text line back into a record."""
+    fields = line.split()
+    if len(fields) not in (4, 5):
+        raise TraceFormatError(f"line {line_number}: expected 4-5 fields, got {len(fields)}")
+    try:
+        pc = int(fields[0], 16)
+        target = int(fields[3], 16)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {line_number}: bad address field") from exc
+    try:
+        cls = _LETTER_TO_CLASS[fields[1]]
+    except KeyError as exc:
+        raise TraceFormatError(
+            f"line {line_number}: unknown class letter {fields[1]!r}"
+        ) from exc
+    if fields[2] not in ("T", "N"):
+        raise TraceFormatError(f"line {line_number}: outcome must be T or N")
+    is_call = False
+    if len(fields) == 5:
+        if fields[4] != "call":
+            raise TraceFormatError(f"line {line_number}: unknown marker {fields[4]!r}")
+        is_call = True
+    return BranchRecord(pc=pc, cls=cls, taken=fields[2] == "T", target=target, is_call=is_call)
+
+
+def write_text_trace(records: Iterable[BranchRecord], destination: PathOrFile) -> int:
+    """Write a text trace; returns the record count."""
+    lines = [HEADER]
+    count = 0
+    for record in records:
+        lines.append(format_record(record))
+        count += 1
+    content = "\n".join(lines) + "\n"
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(content)
+    else:
+        destination.write(content)
+    return count
+
+
+def read_text_trace(source: PathOrFile) -> List[BranchRecord]:
+    """Read a whole text trace into memory."""
+    return list(iter_text_trace(source))
+
+
+def iter_text_trace(source: PathOrFile) -> Iterator[BranchRecord]:
+    """Stream records from a text trace (comments/blank lines skipped)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r") as handle:
+            yield from _iter_lines(handle)
+    else:
+        yield from _iter_lines(source)
+
+
+def _iter_lines(handle: IO[str]) -> Iterator[BranchRecord]:
+    for line_number, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_record(line, line_number)

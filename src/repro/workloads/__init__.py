@@ -1,0 +1,48 @@
+"""The nine SPEC-analog workloads (section 4.1's benchmarks).
+
+Importing this package registers every workload; use
+:func:`~repro.workloads.base.get_workload` /
+:func:`~repro.workloads.base.workload_names` to enumerate them.  The
+registration order matches the paper's benchmark listing: integer codes
+first (eqntott, espresso, gcc, li), then floating point (doduc, fpppp,
+matrix300, spice2g6, tomcatv).
+"""
+
+from repro.workloads.base import (
+    DEFAULT_CONDITIONAL_BRANCHES,
+    FLOATING_POINT,
+    INTEGER,
+    DataSet,
+    TraceCache,
+    Workload,
+    WorkloadTrace,
+    default_cache,
+    get_workload,
+    register_workload,
+    workload_names,
+)
+
+# Import order fixes registry (and therefore figure x-axis) order.
+from repro.workloads import eqntott as _eqntott  # noqa: F401
+from repro.workloads import espresso as _espresso  # noqa: F401
+from repro.workloads import gcc as _gcc  # noqa: F401
+from repro.workloads import li as _li  # noqa: F401
+from repro.workloads import doduc as _doduc  # noqa: F401
+from repro.workloads import fpppp as _fpppp  # noqa: F401
+from repro.workloads import matrix300 as _matrix300  # noqa: F401
+from repro.workloads import spice2g6 as _spice2g6  # noqa: F401
+from repro.workloads import tomcatv as _tomcatv  # noqa: F401
+
+__all__ = [
+    "DEFAULT_CONDITIONAL_BRANCHES",
+    "DataSet",
+    "FLOATING_POINT",
+    "INTEGER",
+    "TraceCache",
+    "Workload",
+    "WorkloadTrace",
+    "default_cache",
+    "get_workload",
+    "register_workload",
+    "workload_names",
+]

@@ -1,0 +1,225 @@
+"""Workload framework: SPEC-analog programs, data sets, and trace caching.
+
+Each workload is a program *generator*: given a :class:`DataSet` it emits
+assembly source for the repro ISA, which the CPU executes to produce the
+branch trace.  Data sets model the paper's Table 3 — a workload may define a
+``train`` data set with *different branch tendencies* from its default
+``test`` set, which is what exposes Static Training's weakness in Figure 8.
+
+Traces are cached at two levels: an in-process dict (sweeps reuse the same
+trace across dozens of predictor configurations) and an optional on-disk
+cache in the repro binary trace format (CPU execution is the expensive
+stage).  Cache keys include a per-workload ``version`` so editing a program
+generator invalidates stale traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.errors import WorkloadError
+from repro.isa.assembler import assemble
+from repro.isa.cpu import CPU
+from repro.trace.encoding import read_trace, write_trace
+from repro.trace.record import BranchRecord, InstructionMix
+
+#: default per-benchmark conditional-branch cap for library-level runs; the
+#: paper uses 20 million, which a pure-Python interpreter reproduces only via
+#: the CLI's --scale flag.
+DEFAULT_CONDITIONAL_BRANCHES = 50_000
+
+INTEGER = "integer"
+FLOATING_POINT = "fp"
+
+
+@dataclass(frozen=True)
+class DataSet:
+    """A named input for a workload (Table 3 rows).
+
+    ``params`` feed the program generator (seeds, sizes, input tables), so
+    two data sets of one workload produce genuinely different branch
+    behaviour, not just different lengths.
+    """
+
+    name: str
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def param(self, key: str, default: int) -> int:
+        return self.params.get(key, default)
+
+
+@dataclass
+class WorkloadTrace:
+    """A generated trace plus the statistics the figures need."""
+
+    records: List[BranchRecord]
+    mix: InstructionMix
+
+
+class Workload(ABC):
+    """A SPEC-analog benchmark program.
+
+    Subclasses define ``name``, ``category`` (integer / fp), their data sets
+    and :meth:`build_source`.  ``version`` must be bumped whenever the
+    generated program changes, to invalidate disk-cached traces.
+    """
+
+    name: str = ""
+    category: str = INTEGER
+    version: int = 1
+
+    #: data sets by role; every workload has "test", some also have "train"
+    #: (Table 3's five benchmarks with applicable alternative data sets).
+    datasets: Dict[str, DataSet] = {}
+
+    @abstractmethod
+    def build_source(self, dataset: DataSet) -> str:
+        """Emit the assembly source for the given data set."""
+
+    # ------------------------------------------------------------------
+    def dataset(self, role: str = "test") -> DataSet:
+        try:
+            return self.datasets[role]
+        except KeyError as exc:
+            raise WorkloadError(
+                f"workload {self.name!r} has no {role!r} data set"
+                f" (available: {sorted(self.datasets)})"
+            ) from exc
+
+    @property
+    def has_training_set(self) -> bool:
+        """Whether Table 3 lists an applicable alternative data set."""
+        return "train" in self.datasets
+
+    def generate(
+        self, dataset: Optional[DataSet] = None, max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES
+    ) -> WorkloadTrace:
+        """Assemble and execute the program, capped at ``max_conditional``
+        conditional branches (the paper's per-benchmark simulation cap)."""
+        chosen = dataset if dataset is not None else self.dataset("test")
+        program = assemble(self.build_source(chosen))
+        cpu = CPU(program)
+        result = cpu.run(max_conditional_branches=max_conditional)
+        return WorkloadTrace(records=result.branch_records, mix=result.mix)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[Workload]] = {}
+
+
+def register_workload(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the global registry."""
+    if not cls.name:
+        raise WorkloadError(f"workload class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def workload_names() -> List[str]:
+    """All registered workload names, in registration (paper) order."""
+    return list(_REGISTRY)
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# trace cache
+# ----------------------------------------------------------------------
+class TraceCache:
+    """Two-level (memory + optional disk) cache of workload traces."""
+
+    def __init__(self, disk_dir: "Optional[Path | str]" = None):
+        self._memory: Dict[Tuple[str, str, int, int], WorkloadTrace] = {}
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    def get(
+        self,
+        workload: Workload,
+        role: str = "test",
+        max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
+    ) -> WorkloadTrace:
+        """Fetch (or generate and cache) a workload trace."""
+        key = (workload.name, role, max_conditional, workload.version)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+
+        trace = self._load_disk(key)
+        if trace is None:
+            trace = workload.generate(workload.dataset(role), max_conditional)
+            self._store_disk(key, trace)
+        self._memory[key] = trace
+        return trace
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    # -- disk layer ----------------------------------------------------
+    def _paths(self, key: Tuple[str, str, int, int]) -> Tuple[Path, Path]:
+        assert self.disk_dir is not None
+        digest = hashlib.sha1("/".join(map(str, key)).encode()).hexdigest()[:12]
+        stem = f"{key[0]}-{key[1]}-{key[2]}-v{key[3]}-{digest}"
+        return self.disk_dir / f"{stem}.trc", self.disk_dir / f"{stem}.json"
+
+    def _load_disk(self, key: Tuple[str, str, int, int]) -> Optional[WorkloadTrace]:
+        if self.disk_dir is None:
+            return None
+        trace_path, meta_path = self._paths(key)
+        if not (trace_path.exists() and meta_path.exists()):
+            return None
+        try:
+            records = read_trace(trace_path)
+            meta = json.loads(meta_path.read_text())
+            mix = InstructionMix(**meta["mix"])
+        except Exception:
+            return None  # corrupt cache entries regenerate silently
+        return WorkloadTrace(records=records, mix=mix)
+
+    def _store_disk(self, key: Tuple[str, str, int, int], trace: WorkloadTrace) -> None:
+        if self.disk_dir is None:
+            return
+        trace_path, meta_path = self._paths(key)
+        write_trace(trace.records, trace_path)
+        meta = {
+            "mix": {
+                "conditional": trace.mix.conditional,
+                "returns": trace.mix.returns,
+                "imm_unconditional": trace.mix.imm_unconditional,
+                "reg_unconditional": trace.mix.reg_unconditional,
+                "non_branch": trace.mix.non_branch,
+            }
+        }
+        meta_path.write_text(json.dumps(meta))
+
+
+def default_cache() -> TraceCache:
+    """The shared process-wide cache; honours ``REPRO_TRACE_CACHE`` for the
+    disk directory (unset means memory-only)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        disk = os.environ.get("REPRO_TRACE_CACHE")
+        _DEFAULT_CACHE = TraceCache(disk_dir=disk if disk else None)
+    return _DEFAULT_CACHE
+
+
+_DEFAULT_CACHE: Optional[TraceCache] = None

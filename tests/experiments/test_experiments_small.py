@@ -1,0 +1,47 @@
+"""Integration: every experiment runs end-to-end at reduced scale.
+
+These use a benchmark subset and small trace caps so the whole file stays
+fast; the full-suite shape checks are the benchmark harness's job
+(``pytest benchmarks/``).
+"""
+
+import pytest
+
+from repro.experiments import experiment_ids, get_experiment
+
+SUBSET = ["eqntott", "li", "matrix300"]
+SCALE = 5_000
+
+
+@pytest.mark.parametrize("exp_id", experiment_ids())
+def test_experiment_runs_and_renders(exp_id, trace_cache):
+    report = get_experiment(exp_id).run(
+        max_conditional=SCALE, benchmarks=SUBSET, cache=trace_cache
+    )
+    assert report.exp_id == exp_id
+    assert report.rows
+    text = report.render()
+    assert exp_id in text
+    assert "Shape checks" in text or not report.shape_checks
+
+
+def test_table2_is_scale_independent(trace_cache):
+    report = get_experiment("table2").run(max_conditional=1, cache=trace_cache)
+    assert report.all_passed
+    assert len(report.rows) == 23
+
+
+def test_fig8_requires_training_benchmarks(trace_cache):
+    """On a subset with training sets the Diff rows exist and degrade."""
+    report = get_experiment("fig8").run(
+        max_conditional=SCALE, benchmarks=["li", "espresso"], cache=trace_cache
+    )
+    schemes = [row["scheme"] for row in report.rows]
+    assert any("Diff" in str(scheme) for scheme in schemes)
+
+
+def test_fig5_full_automata_rows(trace_cache):
+    report = get_experiment("fig5").run(
+        max_conditional=SCALE, benchmarks=SUBSET, cache=trace_cache
+    )
+    assert len(report.rows) == 4  # A2, A3, A4, LT

@@ -1,0 +1,34 @@
+"""Experiment registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.registry import experiment_ids, get_experiment
+
+EXPECTED = [
+    "fig3",
+    "fig4",
+    "table1",
+    "table2",
+    "table3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+]
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_present(self):
+        assert experiment_ids() == EXPECTED
+
+    def test_specs_carry_metadata(self):
+        spec = get_experiment("fig5")
+        assert spec.paper_ref == "Figure 5"
+        assert callable(spec.run)
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")

@@ -1,0 +1,81 @@
+"""Reporting utilities: tables, shape checks, sweeps-to-rows."""
+
+from repro.experiments.reporting import (
+    ExperimentReport,
+    ShapeCheck,
+    band_check,
+    ordering_check,
+    render_table,
+    sweep_rows,
+)
+from repro.sim.results import BenchmarkResult, PredictionStats, SweepResult
+
+
+class TestShapeCheck:
+    def test_str_renders_status(self):
+        assert str(ShapeCheck("works", True)).startswith("[PASS]")
+        assert str(ShapeCheck("broken", False, "boom")) == "[FAIL] broken (boom)"
+
+
+class TestOrderingCheck:
+    def test_passes_monotone(self):
+        check = ordering_check("desc", [0.9, 0.8, 0.7], ["a", "b", "c"])
+        assert check.passed
+
+    def test_fails_with_violation_listed(self):
+        check = ordering_check("desc", [0.8, 0.9], ["a", "b"])
+        assert not check.passed
+        assert "a=0.8000 < b=0.9000" in check.detail
+
+    def test_tolerance(self):
+        assert ordering_check("desc", [0.80, 0.801], ["a", "b"], tolerance=0.01).passed
+
+
+class TestBandCheck:
+    def test_inside(self):
+        assert band_check("x", 0.5, 0.4, 0.6).passed
+
+    def test_outside(self):
+        assert not band_check("x", 0.7, 0.4, 0.6).passed
+
+
+class TestRenderTable:
+    def test_alignment_and_floats(self):
+        text = render_table([
+            {"name": "gcc", "acc": 0.93751},
+            {"name": "li", "acc": 0.9},
+        ])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.938" in lines[2]
+        assert "0.900" in lines[3]
+
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+
+class TestExperimentReport:
+    def test_render_and_failures(self):
+        report = ExperimentReport(
+            exp_id="figX",
+            title="Example",
+            rows=[{"a": 1}],
+            shape_checks=[ShapeCheck("good", True), ShapeCheck("bad", False)],
+            notes="a note",
+        )
+        text = report.render()
+        assert "figX" in text and "a note" in text
+        assert not report.all_passed
+        assert len(report.failures()) == 1
+
+
+class TestSweepRows:
+    def test_columns(self):
+        sweep = SweepResult()
+        sweep.add(
+            BenchmarkResult("AT", "gcc", PredictionStats(100, 94)), category="integer"
+        )
+        rows = sweep_rows(sweep)
+        assert rows[0]["scheme"] == "AT"
+        assert rows[0]["gcc"] == 0.94
+        assert "Tot G Mean" in rows[0]

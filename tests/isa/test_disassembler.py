@@ -1,0 +1,58 @@
+"""Disassembler output and the disassemble -> reassemble round trip."""
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_instruction, disassemble_program
+from repro.isa.instructions import Instruction, Opcode
+
+SOURCE = """
+_start:
+    li   r2, 10
+    li   r3, 0x12345678
+loop:
+    ld   r4, 0(r3)
+    st   r4, -8(sp)
+    add  r5, r4, r2
+    beq  r5, r0, done
+    addi r2, r2, -1
+    bgt  r2, r0, loop
+    bsr  sub
+    jmp  r3
+done:
+    halt
+sub:
+    rts
+"""
+
+
+class TestDisassembleInstruction:
+    def test_r_format(self):
+        text = disassemble_instruction(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3), 0)
+        assert text == "add r1, r2, r3"
+
+    def test_memory_format(self):
+        text = disassemble_instruction(Instruction(Opcode.LD, rd=4, rs1=30, imm=-8), 0)
+        assert text == "ld r4, -8(r30)"
+
+    def test_branch_target_absolute(self):
+        text = disassemble_instruction(
+            Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=3), 0x1000
+        )
+        assert text == "beq r1, r2, 0x1010"  # 0x1000 + 4 + 4*3
+
+    def test_bare_opcodes(self):
+        assert disassemble_instruction(Instruction(Opcode.RTS), 0) == "rts"
+        assert disassemble_instruction(Instruction(Opcode.HALT), 0) == "halt"
+
+
+class TestRoundTrip:
+    def test_reassembly_produces_identical_instructions(self):
+        original = assemble(SOURCE)
+        text = "\n".join(
+            line.split(":", 1)[1] for line in disassemble_program(original).splitlines()
+        )
+        reassembled = assemble(text)
+        assert reassembled.instructions == original.instructions
+
+    def test_listing_has_one_line_per_instruction(self):
+        program = assemble(SOURCE)
+        assert len(disassemble_program(program).splitlines()) == len(program)

@@ -1,0 +1,130 @@
+"""Whole-toolchain property tests: random programs through assembler,
+encoder, disassembler and CPU.
+
+The generator builds structurally valid programs (straight-line ALU work,
+bounded loops, forward skips, a leaf call) so every property below must hold
+for *any* output of the strategy: toolchain round-trips are exact, execution
+is deterministic, r0 stays zero, and accounting invariants hold.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.cpu import CPU
+from repro.isa.disassembler import disassemble_program
+from repro.isa.encoding import decode_program, encode_program
+from repro.trace.record import BranchClass
+
+_REGS = [f"r{n}" for n in range(2, 12)]
+
+_ALU = st.sampled_from(["add", "sub", "xor", "and", "or", "mul"])
+_ALU_IMM = st.sampled_from(["addi", "muli", "andi", "ori", "xori"])
+_REG = st.sampled_from(_REGS)
+_IMM = st.integers(-200, 200)
+_POS_IMM = st.integers(0, 200)
+
+
+@st.composite
+def _blocks(draw):
+    """A list of source fragments; each fragment is a few instructions."""
+    fragments = []
+    block_count = draw(st.integers(1, 6))
+    for index in range(block_count):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:  # straight-line ALU
+            lines = [
+                f"    {draw(_ALU)} {draw(_REG)}, {draw(_REG)}, {draw(_REG)}"
+                for _ in range(draw(st.integers(1, 4)))
+            ]
+        elif kind == 1:  # immediate ALU
+            lines = [
+                f"    {draw(_ALU_IMM)} {draw(_REG)}, {draw(_REG)}, {draw(_POS_IMM)}"
+            ]
+        elif kind == 2:  # bounded counted loop
+            trip = draw(st.integers(1, 8))
+            counter = draw(_REG)
+            lines = [
+                f"    li {counter}, {trip}",
+                f"fz_loop{index}:",
+                f"    addi {counter}, {counter}, -1",
+                f"    bgt {counter}, r0, fz_loop{index}",
+            ]
+        else:  # forward skip over one instruction
+            lines = [
+                f"    beq {draw(_REG)}, {draw(_REG)}, fz_skip{index}",
+                f"    addi {draw(_REG)}, {draw(_REG)}, 1",
+                f"fz_skip{index}:",
+            ]
+        fragments.append("\n".join(lines))
+    return fragments
+
+
+@st.composite
+def _programs(draw):
+    fragments = draw(_blocks())
+    use_call = draw(st.booleans())
+    body = ["_start:"]
+    body.extend(fragments)
+    if use_call:
+        body.append("    bsr fz_leaf")
+    body.append("    halt")
+    if use_call:
+        body.append("fz_leaf:")
+        body.append(f"    addi {draw(_REG)}, r0, 7")
+        body.append("    rts")
+    return "\n".join(body)
+
+
+class TestToolchainProperties:
+    @given(_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_binary_round_trip(self, source):
+        program = assemble(source)
+        assert decode_program(encode_program(program.instructions)) == program.instructions
+
+    @given(_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_disassemble_reassemble_fixpoint(self, source):
+        program = assemble(source)
+        listing = "\n".join(
+            line.split(":", 1)[1] for line in disassemble_program(program).splitlines()
+        )
+        assert assemble(listing).instructions == program.instructions
+
+    @given(_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_execution_deterministic(self, source):
+        program = assemble(source)
+        first = CPU(program).run(max_instructions=5_000)
+        second = CPU(program).run(max_instructions=5_000)
+        assert first.branch_records == second.branch_records
+        assert first.instructions_executed == second.instructions_executed
+
+    @given(_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_execution_invariants(self, source):
+        program = assemble(source)
+        cpu = CPU(program)
+        result = cpu.run(max_instructions=5_000)
+        # r0 is hardwired zero
+        assert cpu.regs[0] == 0
+        # all registers hold 32-bit values
+        assert all(0 <= value <= 0xFFFFFFFF for value in cpu.regs)
+        # the mix accounts for every executed instruction
+        assert result.mix.total_instructions == result.instructions_executed
+        # branch records and mix agree
+        conditionals = sum(
+            1 for record in result.branch_records if record.cls is BranchClass.CONDITIONAL
+        )
+        assert conditionals == result.mix.conditional
+        # these programs always halt within the cap
+        assert result.halted
+
+    @given(_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_branch_records_reference_text_segment(self, source):
+        program = assemble(source)
+        result = CPU(program).run(max_instructions=5_000)
+        for record in result.branch_records:
+            assert program.text_base <= record.pc < program.text_end
+            assert program.text_base <= record.target <= program.text_end

@@ -1,0 +1,46 @@
+"""Instruction metadata: formats, branch classification."""
+
+from repro.isa.instructions import (
+    B_FORMAT,
+    CONDITIONAL_BRANCHES,
+    I_FORMAT,
+    Instruction,
+    J_FORMAT,
+    Opcode,
+    R_FORMAT,
+    branch_class_of,
+)
+from repro.trace.record import BranchClass
+
+
+class TestFormats:
+    def test_formats_partition_the_isa(self):
+        formats = [R_FORMAT, I_FORMAT, B_FORMAT, J_FORMAT, {Opcode.NOP, Opcode.HALT}]
+        all_opcodes = set().union(*formats)
+        assert all_opcodes == set(Opcode)
+        total = sum(len(fmt) for fmt in formats)
+        assert total == len(Opcode)  # no overlaps
+
+    def test_conditionals_are_b_format(self):
+        assert CONDITIONAL_BRANCHES == B_FORMAT
+
+
+class TestClassification:
+    def test_paper_classes(self):
+        assert branch_class_of(Opcode.BEQ) is BranchClass.CONDITIONAL
+        assert branch_class_of(Opcode.BGT) is BranchClass.CONDITIONAL
+        assert branch_class_of(Opcode.BR) is BranchClass.IMM_UNCONDITIONAL
+        assert branch_class_of(Opcode.BSR) is BranchClass.IMM_UNCONDITIONAL
+        assert branch_class_of(Opcode.JMP) is BranchClass.REG_UNCONDITIONAL
+        assert branch_class_of(Opcode.JSR) is BranchClass.REG_UNCONDITIONAL
+        assert branch_class_of(Opcode.RTS) is BranchClass.RETURN
+        assert branch_class_of(Opcode.ADD) is BranchClass.NON_BRANCH
+
+    def test_instruction_helpers(self):
+        assert Instruction(Opcode.BEQ).is_branch
+        assert Instruction(Opcode.BEQ).branch_class is BranchClass.CONDITIONAL
+        assert not Instruction(Opcode.NOP).is_branch
+
+    def test_every_jump_is_a_branch_class(self):
+        for opcode in B_FORMAT | J_FORMAT:
+            assert branch_class_of(opcode).is_branch

@@ -1,0 +1,83 @@
+"""Sparse memory semantics, including byte/word consistency properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.isa.memory import Memory
+
+
+class TestWords:
+    def test_unwritten_reads_zero(self):
+        assert Memory().load_word(0x1000) == 0
+
+    def test_store_load(self):
+        memory = Memory()
+        memory.store_word(0x2000, 0xDEADBEEF)
+        assert memory.load_word(0x2000) == 0xDEADBEEF
+
+    def test_values_masked_to_32_bits(self):
+        memory = Memory()
+        memory.store_word(0, 1 << 40 | 5)
+        assert memory.load_word(0) == 5
+
+    @pytest.mark.parametrize("address", [1, 2, 3, 0x1001])
+    def test_misaligned_word_access_faults(self, address):
+        memory = Memory()
+        with pytest.raises(ExecutionError):
+            memory.load_word(address)
+        with pytest.raises(ExecutionError):
+            memory.store_word(address, 0)
+
+    def test_bulk_store_load(self):
+        memory = Memory()
+        memory.store_words(0x100, [1, 2, 3])
+        assert memory.load_words(0x100, 3) == [1, 2, 3]
+        assert memory.load_words(0x100, 5) == [1, 2, 3, 0, 0]
+
+    def test_footprint_and_clear(self):
+        memory = Memory()
+        memory.store_word(0, 1)
+        memory.store_word(4, 2)
+        memory.store_word(0, 3)  # overwrite, not new
+        assert memory.footprint_words() == 2
+        memory.clear()
+        assert memory.footprint_words() == 0
+        assert memory.load_word(0) == 0
+
+
+class TestBytes:
+    def test_big_endian_layout(self):
+        memory = Memory()
+        memory.store_word(0, 0x11223344)
+        assert [memory.load_byte(i) for i in range(4)] == [0x11, 0x22, 0x33, 0x44]
+
+    def test_store_byte_updates_word(self):
+        memory = Memory()
+        memory.store_byte(2, 0xAB)
+        assert memory.load_word(0) == 0x0000AB00
+
+    @given(
+        word=st.integers(0, 0xFFFFFFFF),
+        position=st.integers(0, 3),
+        value=st.integers(0, 255),
+    )
+    def test_byte_write_read_consistent_with_word(self, word, position, value):
+        memory = Memory()
+        memory.store_word(0, word)
+        memory.store_byte(position, value)
+        assert memory.load_byte(position) == value
+        # other bytes untouched
+        for other in range(4):
+            if other != position:
+                assert memory.load_byte(other) == (word >> ((3 - other) * 8)) & 0xFF
+
+    @given(values=st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    def test_word_equals_composed_bytes(self, values):
+        memory = Memory()
+        for offset, value in enumerate(values):
+            memory.store_byte(offset, value)
+        expected = (
+            values[0] << 24 | values[1] << 16 | values[2] << 8 | values[3]
+        )
+        assert memory.load_word(0) == expected

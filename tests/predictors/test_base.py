@@ -1,0 +1,37 @@
+"""Predictor base utilities."""
+
+from repro.predictors.base import ConditionalBranchPredictor, measure_accuracy
+from repro.trace.record import BranchClass, BranchRecord
+
+
+class _ConstantPredictor(ConditionalBranchPredictor):
+    def __init__(self, answer: bool):
+        self.answer = answer
+        self.updates = []
+
+    def predict(self, pc, target):
+        return self.answer
+
+    def update(self, pc, target, taken):
+        self.updates.append((pc, taken))
+
+
+class TestMeasureAccuracy:
+    def test_scores_only_conditionals(self):
+        trace = [
+            BranchRecord(0x10, BranchClass.CONDITIONAL, True, 0x40),
+            BranchRecord(0x14, BranchClass.RETURN, True, 0x20),
+            BranchRecord(0x18, BranchClass.CONDITIONAL, False, 0x80),
+        ]
+        predictor = _ConstantPredictor(True)
+        assert measure_accuracy(predictor, trace) == 0.5
+        assert len(predictor.updates) == 2  # returns not fed to the predictor
+
+    def test_empty_trace(self):
+        assert measure_accuracy(_ConstantPredictor(True), []) == 0.0
+
+    def test_default_name_is_class_name(self):
+        assert _ConstantPredictor(True).name == "_ConstantPredictor"
+
+    def test_default_reset_is_noop(self):
+        _ConstantPredictor(True).reset()

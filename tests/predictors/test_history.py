@@ -1,0 +1,78 @@
+"""Shift register algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.predictors.history import ShiftRegister
+
+
+class TestBasics:
+    def test_initialises_all_ones(self):
+        register = ShiftRegister(4)
+        assert register.value == 0b1111
+        assert register.pattern_string() == "1111"
+
+    def test_shift_semantics(self):
+        register = ShiftRegister(3, value=0)
+        assert register.shift(True) == 0b001
+        assert register.shift(True) == 0b011
+        assert register.shift(False) == 0b110
+
+    def test_oldest_bit_drops_off(self):
+        register = ShiftRegister(2, value=0b11)
+        register.shift(False)
+        register.shift(False)
+        assert register.value == 0
+
+    def test_peek_does_not_mutate(self):
+        register = ShiftRegister(4)
+        peeked = register.peek_shift(False)
+        assert peeked == 0b1110
+        assert register.value == 0b1111
+
+    def test_bits_oldest_first(self):
+        register = ShiftRegister(3, value=0b011)
+        assert register.bits() == [False, True, True]
+
+    def test_explicit_value_masked(self):
+        assert ShiftRegister(3, value=0xFF).value == 0b111
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigError):
+            ShiftRegister(0)
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        assert ShiftRegister(4, 3) == ShiftRegister(4, 3)
+        assert ShiftRegister(4, 3) != ShiftRegister(5, 3)
+        assert hash(ShiftRegister(4, 3)) == hash(ShiftRegister(4, 3))
+
+    def test_not_equal_to_other_types(self):
+        assert ShiftRegister(4, 3) != 3
+
+
+class TestProperties:
+    @given(length=st.integers(1, 16), outcomes=st.lists(st.booleans(), max_size=40))
+    def test_value_always_within_mask(self, length, outcomes):
+        register = ShiftRegister(length)
+        for outcome in outcomes:
+            register.shift(outcome)
+            assert 0 <= register.value <= register.mask
+
+    @given(length=st.integers(1, 12), outcomes=st.lists(st.booleans(), min_size=1))
+    def test_last_k_outcomes_recoverable(self, length, outcomes):
+        register = ShiftRegister(length, value=0)
+        for outcome in outcomes:
+            register.shift(outcome)
+        expected = ([False] * length + outcomes)[-length:]
+        assert register.bits() == expected
+
+    @given(length=st.integers(1, 12))
+    def test_pattern_string_matches_bits(self, length):
+        register = ShiftRegister(length)
+        register.shift(False)
+        text = register.pattern_string()
+        assert len(text) == length
+        assert text == "".join("1" if bit else "0" for bit in register.bits())

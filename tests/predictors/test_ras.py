@@ -1,0 +1,82 @@
+"""Return address stack: LIFO behaviour, overflow wrap, underflow."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.predictors.ras import ReturnAddressStack
+
+
+class TestBasics:
+    def test_lifo(self):
+        stack = ReturnAddressStack(8)
+        stack.push(0x100)
+        stack.push(0x200)
+        assert stack.pop() == 0x200
+        assert stack.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        stack = ReturnAddressStack(4)
+        assert stack.pop() is None
+        assert stack.underflows == 1
+
+    def test_overflow_overwrites_oldest(self):
+        stack = ReturnAddressStack(2)
+        stack.push(1)
+        stack.push(2)
+        stack.push(3)  # overwrites 1
+        assert stack.overflows == 1
+        assert stack.pop() == 3
+        assert stack.pop() == 2
+        assert stack.pop() is None  # 1 was lost
+
+    def test_peek(self):
+        stack = ReturnAddressStack(4)
+        assert stack.peek() is None
+        stack.push(7)
+        assert stack.peek() == 7
+        assert len(stack) == 1  # peek does not pop
+
+    def test_reset(self):
+        stack = ReturnAddressStack(4)
+        stack.push(1)
+        stack.pop()
+        stack.pop()
+        stack.reset()
+        assert len(stack) == 0
+        assert stack.overflows == stack.underflows == 0
+
+    def test_depth_validated(self):
+        with pytest.raises(ConfigError):
+            ReturnAddressStack(0)
+
+
+class TestProperties:
+    @given(addresses=st.lists(st.integers(0, 2**32 - 1), max_size=30))
+    def test_within_capacity_behaves_like_list(self, addresses):
+        stack = ReturnAddressStack(64)
+        for address in addresses:
+            stack.push(address)
+        for address in reversed(addresses):
+            assert stack.pop() == address
+        assert stack.pop() is None
+
+    @given(
+        depth=st.integers(1, 8),
+        addresses=st.lists(st.integers(0, 1000), min_size=1, max_size=40),
+    )
+    @settings(max_examples=30)
+    def test_overflow_keeps_most_recent(self, depth, addresses):
+        stack = ReturnAddressStack(depth)
+        for address in addresses:
+            stack.push(address)
+        kept = addresses[-depth:]
+        for address in reversed(kept):
+            assert stack.pop() == address
+
+    @given(depth=st.integers(1, 8), pushes=st.integers(0, 40))
+    def test_size_never_exceeds_depth(self, depth, pushes):
+        stack = ReturnAddressStack(depth)
+        for index in range(pushes):
+            stack.push(index)
+            assert len(stack) <= depth

@@ -1,0 +1,158 @@
+"""Table 2 naming-convention parser: grammar, build, round-trip, errors."""
+
+import pytest
+
+from repro.errors import SpecParseError
+from repro.predictors.btb import LeeSmithPredictor
+from repro.predictors.extensions import GAgPredictor, GSharePredictor
+from repro.predictors.hrt import AHRT, HHRT, IHRT
+from repro.predictors.spec import parse_spec
+from repro.predictors.static_schemes import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    BTFNPredictor,
+    ProfilePredictor,
+)
+from repro.predictors.static_training import StaticTrainingPredictor
+from repro.predictors.two_level import TwoLevelAdaptivePredictor
+from repro.trace.synthetic import periodic_branch
+
+TRAIN = list(periodic_branch([True, False], 50))
+
+
+class TestParseAT:
+    def test_full_form(self):
+        spec = parse_spec("AT(AHRT(512,12SR),PT(2^12,A2),)")
+        assert spec.scheme == "AT"
+        assert spec.hrt_kind == "AHRT"
+        assert spec.hrt_entries == 512
+        assert spec.history_length == 12
+        assert spec.pt_entries == 4096
+        assert spec.pt_automaton.name == "A2"
+
+    def test_decimal_pt_size(self):
+        assert parse_spec("AT(AHRT(512,12SR),PT(4096,A2))").pt_entries == 4096
+
+    def test_ihrt_empty_size(self):
+        spec = parse_spec("AT(IHRT(,12SR),PT(2^12,A2),)")
+        assert spec.hrt_kind == "IHRT"
+        assert spec.hrt_entries is None
+
+    def test_whitespace_tolerant(self):
+        spec = parse_spec("  AT( AHRT( 512 , 12SR ) , PT( 2^12 , A2 ) , ) ")
+        assert spec.canonical() == "AT(AHRT(512,12SR),PT(2^12,A2),)"
+
+    def test_build_types(self):
+        at = parse_spec("AT(AHRT(512,12SR),PT(2^12,A2),)").build()
+        assert isinstance(at, TwoLevelAdaptivePredictor)
+        assert isinstance(at.hrt, AHRT)
+        hh = parse_spec("AT(HHRT(256,8SR),PT(2^8,A3),)").build()
+        assert isinstance(hh.hrt, HHRT)
+
+
+class TestParseST:
+    def test_same_and_diff(self):
+        same = parse_spec("ST(IHRT(,12SR),PT(2^12,PB),Same)")
+        diff = parse_spec("ST(AHRT(512,12SR),PT(2^12,PB),Diff)")
+        assert same.data_mode == "Same"
+        assert diff.data_mode == "Diff"
+
+    def test_build_requires_training(self):
+        spec = parse_spec("ST(IHRT(,6SR),PT(2^6,PB),Same)")
+        with pytest.raises(SpecParseError, match="training"):
+            spec.build()
+        predictor = spec.build(training_records=TRAIN)
+        assert isinstance(predictor, StaticTrainingPredictor)
+
+    def test_st_rejects_automaton_pattern_table(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("ST(IHRT(,12SR),PT(2^12,A2),Same)")
+
+
+class TestParseLS:
+    def test_forms(self):
+        spec = parse_spec("LS(AHRT(512,A2),,)")
+        assert spec.scheme == "LS"
+        assert spec.hrt_automaton.name == "A2"
+        assert spec.pt_entries is None
+        predictor = spec.build()
+        assert isinstance(predictor, LeeSmithPredictor)
+
+    def test_last_time(self):
+        assert parse_spec("LS(IHRT(,LT),,)").hrt_automaton.name == "LT"
+
+    def test_ls_rejects_pattern_table(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("LS(AHRT(512,A2),PT(2^12,A2),)")
+
+    def test_ls_rejects_data_field(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("LS(AHRT(512,A2),,Same)")
+
+
+class TestSimpleSchemes:
+    @pytest.mark.parametrize(
+        "text,cls",
+        [
+            ("AlwaysTaken", AlwaysTaken),
+            ("Taken", AlwaysTaken),
+            ("AlwaysNotTaken", AlwaysNotTaken),
+            ("BTFN", BTFNPredictor),
+            ("btfn", BTFNPredictor),
+        ],
+    )
+    def test_bare_names(self, text, cls):
+        assert isinstance(parse_spec(text).build(), cls)
+
+    def test_profile_needs_training(self):
+        spec = parse_spec("Profile")
+        with pytest.raises(SpecParseError):
+            spec.build()
+        assert isinstance(spec.build(training_records=TRAIN), ProfilePredictor)
+
+    def test_extensions(self):
+        gag = parse_spec("GAg(10)").build()
+        assert isinstance(gag, GAgPredictor)
+        gshare = parse_spec("gshare(12,A3)").build()
+        assert isinstance(gshare, GSharePredictor)
+        assert gshare.pattern_table.automaton.name == "A3"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "XX(AHRT(512,12SR),PT(2^12,A2),)",
+            "AT(ZHRT(512,12SR),PT(2^12,A2),)",
+            "AT(AHRT(512,12SR))",
+            "AT(AHRT(512,A2),PT(2^12,A2),)",  # AT needs kSR history
+            "AT(AHRT(512,12SR),PT(2^10,A2),)",  # PT size mismatch
+            "AT(AHRT(512,12SR),PT(2^12,A9),)",  # unknown automaton
+            "AT(IHRT(99,12SR),PT(2^12,A2),)",  # IHRT takes no size
+            "ST(IHRT(,12SR),PT(2^12,PB),Sometimes)",
+            "AT(AHRT(abc,12SR),PT(2^12,A2),)",
+            "AT(AHRT(512,12SR),PT(2^12,A2)",  # unbalanced paren
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SpecParseError):
+            parse_spec(bad)
+
+
+class TestCanonicalRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "AT(AHRT(512,12SR),PT(2^12,A2),)",
+            "AT(HHRT(256,10SR),PT(2^10,A4),)",
+            "AT(IHRT(,6SR),PT(2^6,LT),)",
+            "ST(AHRT(512,12SR),PT(2^12,PB),Diff)",
+            "LS(HHRT(512,LT),,)",
+            "LS(IHRT(,A2),,)",
+            "BTFN",
+            "GAg(8,A2)",
+        ],
+    )
+    def test_canonical_fixed_point(self, text):
+        canonical = parse_spec(text).canonical()
+        assert parse_spec(canonical).canonical() == canonical

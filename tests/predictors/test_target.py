@@ -1,0 +1,97 @@
+"""Branch target buffer and target-prediction scoring."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.target import (
+    BranchTargetBuffer,
+    measure_target_prediction,
+)
+from repro.trace.record import BranchClass, BranchRecord
+
+
+def _taken(pc, target, cls=BranchClass.IMM_UNCONDITIONAL, is_call=False):
+    return BranchRecord(pc, cls, True, target, is_call)
+
+
+class TestBranchTargetBuffer:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(16)
+        assert btb.lookup(0x100) is None
+        btb.record(0x100, 0x500)
+        assert btb.lookup(0x100) == 0x500
+        assert btb.hit_ratio == 0.5
+
+    def test_target_refresh(self):
+        btb = BranchTargetBuffer(16)
+        btb.record(0x100, 0x500)
+        btb.record(0x100, 0x900)
+        assert btb.lookup(0x100) == 0x900
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(2, associativity=2)  # one set
+        btb.record(0x0, 1)
+        btb.record(0x4, 2)
+        btb.lookup(0x0)  # touch: 0x4 becomes LRU
+        btb.record(0x8, 3)  # evicts 0x4
+        assert btb.lookup(0x4) is None
+        assert btb.lookup(0x0) == 1
+        assert btb.lookup(0x8) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(0)
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(10, associativity=4)
+
+    def test_reset(self):
+        btb = BranchTargetBuffer(8)
+        btb.record(0x0, 1)
+        btb.reset()
+        assert btb.lookup(0x0) is None
+
+
+class TestMeasureTargetPrediction:
+    def test_stable_targets_learned_after_first_visit(self):
+        trace = [_taken(0x100, 0x500)] * 10
+        stats = measure_target_prediction(trace)
+        assert stats.taken_total == 10
+        assert stats.taken_correct == 9  # first is a compulsory miss
+
+    def test_not_taken_branches_not_scored(self):
+        trace = [BranchRecord(0x100, BranchClass.CONDITIONAL, False, 0x500)] * 5
+        stats = measure_target_prediction(trace)
+        assert stats.taken_total == 0
+
+    def test_returns_without_ras_thrash_the_btb(self):
+        """A function called from two sites returns to alternating targets —
+        the BTB's cached entry is always stale."""
+        trace = []
+        for index in range(20):
+            return_to = 0x100 if index % 2 == 0 else 0x200
+            trace.append(_taken(0x900, return_to, cls=BranchClass.RETURN))
+        stats = measure_target_prediction(trace)
+        assert stats.return_accuracy == 0.0
+
+    def test_returns_with_ras_predicted(self):
+        trace = []
+        for index in range(10):
+            call_site = 0x100 + 0x20 * index
+            trace.append(_taken(call_site, 0x900, is_call=True))
+            trace.append(_taken(0x910, call_site + 4, cls=BranchClass.RETURN))
+        stats = measure_target_prediction(trace, ras=ReturnAddressStack(16))
+        assert stats.returns_total == 10
+        assert stats.returns_correct == 10
+        assert stats.taken_correct >= 10  # returns + warmed call sites
+
+    def test_on_real_workload_ras_helps(self, eqntott_trace, trace_cache):
+        from repro.workloads.base import get_workload
+
+        records = trace_cache.get(get_workload("li"), "test", 8000).records
+        without = measure_target_prediction(records, BranchTargetBuffer(512))
+        with_ras = measure_target_prediction(
+            records, BranchTargetBuffer(512), ReturnAddressStack(32)
+        )
+        assert with_ras.return_accuracy > without.return_accuracy
+        assert with_ras.accuracy >= without.accuracy

@@ -1,0 +1,83 @@
+"""Interference and convergence analysis."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predictors.automata import A2
+from repro.predictors.hrt import IHRT
+from repro.predictors.pattern_table import PatternTable
+from repro.predictors.two_level import TwoLevelAdaptivePredictor
+from repro.sim.analysis import (
+    convergence_point,
+    pattern_conflicts,
+    windowed_accuracy,
+)
+from repro.trace.synthetic import interleaved, periodic_branch
+
+
+class TestPatternConflicts:
+    def test_single_periodic_branch_is_conflict_free(self):
+        trace = list(periodic_branch([True, True, False], 300))
+        stats = pattern_conflicts(trace, history_length=6)
+        # warm-up transitions contribute a handful of contested patterns at
+        # most; steady state is perfectly consistent
+        assert stats.conflict_rate < 0.02
+        assert stats.updates_total == 900
+
+    def test_conflicting_branches_detected(self):
+        # window TFT continues F for the alternating branch, T for the
+        # period-3 branch: with 3-bit histories their PT entries collide
+        trace = list(
+            interleaved([(0x10, [True, False]), (0x20, [True, True, False])], 600)
+        )
+        stats = pattern_conflicts(trace, history_length=3)
+        assert stats.conflict_rate > 0.1
+        assert stats.contested_patterns >= 1
+
+    def test_longer_history_separates_conflicts(self):
+        trace = list(
+            interleaved([(0x10, [True, False]), (0x20, [True, True, False])], 600)
+        )
+        short = pattern_conflicts(trace, history_length=3).conflict_rate
+        long = pattern_conflicts(trace, history_length=10).conflict_rate
+        assert long < short
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            pattern_conflicts([], history_length=0)
+
+    def test_empty_trace(self):
+        stats = pattern_conflicts([])
+        assert stats.conflict_rate == 0.0
+        assert stats.contested_fraction == 0.0
+
+
+class TestWindowedAccuracy:
+    def _predictor(self):
+        return TwoLevelAdaptivePredictor(IHRT(), PatternTable(8, A2))
+
+    def test_window_count(self):
+        trace = list(periodic_branch([True, False], 1250))  # 2500 conditionals
+        accuracies = windowed_accuracy(self._predictor(), trace, window=1000)
+        assert len(accuracies) == 3  # 1000 + 1000 + 500
+
+    def test_warmup_visible_then_converges(self):
+        trace = list(periodic_branch([True, False, False, True, False], 2000))
+        accuracies = windowed_accuracy(self._predictor(), trace, window=500)
+        assert accuracies[-1] > accuracies[0]
+        assert accuracies[-1] > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            windowed_accuracy(self._predictor(), [], window=0)
+
+
+class TestConvergencePoint:
+    def test_finds_settle_index(self):
+        assert convergence_point([0.5, 0.8, 0.97, 0.98, 0.975], tolerance=0.01) == 2
+
+    def test_immediate_convergence(self):
+        assert convergence_point([0.97, 0.97, 0.97]) == 0
+
+    def test_empty(self):
+        assert convergence_point([]) is None

@@ -1,0 +1,83 @@
+"""Simulation engine: scoring, RAS wiring."""
+
+from repro.predictors.base import ConditionalBranchPredictor
+from repro.predictors.ras import ReturnAddressStack
+from repro.sim.engine import simulate
+from repro.trace.record import BranchClass, BranchRecord
+
+
+class _Oracle(ConditionalBranchPredictor):
+    """Predicts perfectly by peeking at a supplied answer list."""
+
+    def __init__(self, answers):
+        self.answers = iter(answers)
+
+    def predict(self, pc, target):
+        return next(self.answers)
+
+    def update(self, pc, target, taken):
+        pass
+
+
+def _cond(pc, taken):
+    return BranchRecord(pc, BranchClass.CONDITIONAL, taken, pc + 0x40)
+
+
+class TestScoring:
+    def test_counts_correct_and_total(self):
+        trace = [_cond(0, True), _cond(4, False), _cond(8, True)]
+        stats = simulate(_Oracle([True, True, True]), trace)
+        assert stats.conditional_total == 3
+        assert stats.conditional_correct == 2
+        assert abs(stats.accuracy - 2 / 3) < 1e-12
+        assert abs(stats.miss_rate - 1 / 3) < 1e-12
+
+    def test_non_conditionals_not_scored(self):
+        trace = [
+            _cond(0, True),
+            BranchRecord(4, BranchClass.IMM_UNCONDITIONAL, True, 0x80),
+            BranchRecord(8, BranchClass.RETURN, True, 0x0C),
+        ]
+        stats = simulate(_Oracle([True]), trace)
+        assert stats.conditional_total == 1
+
+    def test_empty_trace(self):
+        stats = simulate(_Oracle([]), [])
+        assert stats.accuracy == 0.0
+        assert stats.miss_rate == 0.0
+
+
+class TestReturnAddressStack:
+    def test_returns_scored_against_stack(self):
+        trace = [
+            BranchRecord(0x100, BranchClass.IMM_UNCONDITIONAL, True, 0x500, True),
+            BranchRecord(0x510, BranchClass.RETURN, True, 0x104),
+        ]
+        stats = simulate(_Oracle([]), trace, ras=ReturnAddressStack(8))
+        assert stats.returns_total == 1
+        assert stats.returns_correct == 1
+        assert stats.return_accuracy == 1.0
+
+    def test_overflow_causes_return_misses(self):
+        trace = []
+        for depth in range(6):  # six nested calls into a 4-deep stack
+            trace.append(
+                BranchRecord(
+                    0x100 + 16 * depth, BranchClass.REG_UNCONDITIONAL, True, 0x1000, True
+                )
+            )
+        for depth in reversed(range(6)):
+            trace.append(
+                BranchRecord(0x2000, BranchClass.RETURN, True, 0x104 + 16 * depth)
+            )
+        stats = simulate(_Oracle([]), trace, ras=ReturnAddressStack(4))
+        assert stats.returns_total == 6
+        assert stats.returns_correct == 4  # the two oldest were overwritten
+
+    def test_plain_jump_does_not_push(self):
+        trace = [
+            BranchRecord(0x100, BranchClass.IMM_UNCONDITIONAL, True, 0x500, False),
+            BranchRecord(0x510, BranchClass.RETURN, True, 0x104),
+        ]
+        stats = simulate(_Oracle([]), trace, ras=ReturnAddressStack(8))
+        assert stats.returns_correct == 0

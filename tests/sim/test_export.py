@@ -1,0 +1,56 @@
+"""CSV/Markdown exports."""
+
+import csv
+import io
+
+from repro.sim.export import rows_to_markdown, sweep_to_csv, sweep_to_markdown
+from repro.sim.results import BenchmarkResult, PredictionStats, SweepResult
+
+
+def _sweep():
+    sweep = SweepResult()
+    sweep.add(
+        BenchmarkResult("AT", "gcc", PredictionStats(100, 94)), category="integer"
+    )
+    sweep.add(
+        BenchmarkResult("AT", "tomcatv", PredictionStats(100, 98)), category="fp"
+    )
+    sweep.add(
+        BenchmarkResult("LS", "gcc", PredictionStats(100, 88)), category="integer"
+    )
+    sweep.add(
+        BenchmarkResult("LS", "tomcatv", PredictionStats(100, 95)), category="fp"
+    )
+    return sweep
+
+
+class TestCsv:
+    def test_parses_back(self):
+        text = sweep_to_csv(_sweep())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][:2] == ["scheme", "gcc"]
+        assert rows[1][0] == "AT"
+        assert float(rows[1][1]) == 0.94
+
+    def test_missing_cells_empty(self):
+        sweep = SweepResult()
+        sweep.add(BenchmarkResult("A", "x", PredictionStats(10, 9)))
+        sweep.add(BenchmarkResult("B", "y", PredictionStats(10, 9)))
+        rows = list(csv.reader(io.StringIO(sweep_to_csv(sweep))))
+        assert rows[1][2] == ""  # scheme A has no benchmark y
+
+
+class TestMarkdown:
+    def test_sweep_table_shape(self):
+        text = sweep_to_markdown(_sweep())
+        lines = text.splitlines()
+        assert lines[0].startswith("| scheme | gcc | tomcatv |")
+        assert lines[1].startswith("|---")
+        assert "| AT | 0.940 |" in lines[2]
+
+    def test_rows_to_markdown(self):
+        text = rows_to_markdown([{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}])
+        assert text.splitlines()[2] == "| 1 | 0.500 |"
+
+    def test_empty_rows(self):
+        assert rows_to_markdown([]) == "(no rows)"

@@ -1,0 +1,140 @@
+"""Pipeline timing model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predictors.static_schemes import AlwaysNotTaken, AlwaysTaken
+from repro.sim.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
+from repro.trace.record import BranchClass, BranchRecord, InstructionMix
+
+
+def _cond(pc, taken):
+    return BranchRecord(pc, BranchClass.CONDITIONAL, taken, pc + 0x40)
+
+
+def _mix(non_branch, conditional=0, returns=0, imm=0, reg=0):
+    return InstructionMix(
+        conditional=conditional,
+        returns=returns,
+        imm_unconditional=imm,
+        reg_unconditional=reg,
+        non_branch=non_branch,
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        PipelineConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"issue_width": 0},
+            {"mispredict_penalty": -1},
+            {"taken_redirect_penalty": -2},
+            {"ras_depth": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            PipelineConfig(**kwargs)
+
+
+class TestCycleAccounting:
+    def test_base_cycles_ceil_division(self):
+        result = simulate_pipeline(
+            AlwaysTaken(), [], _mix(non_branch=101), PipelineConfig(issue_width=2)
+        )
+        assert result.base_cycles == 51
+        assert result.cycles == 51
+
+    def test_mispredict_adds_flush(self):
+        config = PipelineConfig(issue_width=1, mispredict_penalty=8, taken_redirect_penalty=0)
+        trace = [_cond(0, False)]  # AlwaysTaken mispredicts
+        result = simulate_pipeline(AlwaysTaken(), trace, _mix(9, conditional=1), config)
+        assert result.mispredictions == 1
+        assert result.flush_cycles == 8
+        assert result.cycles == 10 + 8
+
+    def test_correct_taken_costs_redirect(self):
+        config = PipelineConfig(issue_width=1, mispredict_penalty=8, taken_redirect_penalty=2)
+        trace = [_cond(0, True)]
+        result = simulate_pipeline(AlwaysTaken(), trace, _mix(9, conditional=1), config)
+        assert result.flush_cycles == 0
+        assert result.redirect_cycles == 2
+
+    def test_correct_not_taken_is_free(self):
+        config = PipelineConfig(issue_width=1, taken_redirect_penalty=2)
+        trace = [_cond(0, False)]
+        result = simulate_pipeline(AlwaysNotTaken(), trace, _mix(9, conditional=1), config)
+        assert result.flush_cycles == 0
+        assert result.redirect_cycles == 0
+
+    def test_unconditional_branches_redirect(self):
+        config = PipelineConfig(issue_width=1, taken_redirect_penalty=3)
+        trace = [BranchRecord(0, BranchClass.IMM_UNCONDITIONAL, True, 0x100)]
+        result = simulate_pipeline(AlwaysTaken(), trace, _mix(9, imm=1), config)
+        assert result.redirect_cycles == 3
+
+
+class TestReturnPrediction:
+    def test_ras_hit_is_cheap(self):
+        config = PipelineConfig(issue_width=1, mispredict_penalty=10, taken_redirect_penalty=1)
+        trace = [
+            BranchRecord(0x100, BranchClass.IMM_UNCONDITIONAL, True, 0x500, True),
+            BranchRecord(0x510, BranchClass.RETURN, True, 0x104),
+        ]
+        result = simulate_pipeline(AlwaysTaken(), trace, _mix(8, imm=1, returns=1), config)
+        assert result.return_mispredictions == 0
+        assert result.flush_cycles == 0
+
+    def test_ras_miss_flushes(self):
+        config = PipelineConfig(issue_width=1, mispredict_penalty=10)
+        trace = [BranchRecord(0x510, BranchClass.RETURN, True, 0x104)]  # empty stack
+        result = simulate_pipeline(AlwaysTaken(), trace, _mix(9, returns=1), config)
+        assert result.return_mispredictions == 1
+        assert result.flush_cycles == 10
+
+
+class TestDerivedMetrics:
+    def test_cpi_ipc_and_speedup(self):
+        good = PipelineResult(PipelineConfig(), instructions=100, base_cycles=50)
+        bad = PipelineResult(PipelineConfig(), instructions=100, base_cycles=50, flush_cycles=50)
+        assert good.cpi == 0.5
+        assert good.ipc == 2.0
+        assert good.speedup_over(bad) == 2.0
+
+    def test_accuracy(self):
+        result = PipelineResult(
+            PipelineConfig(), conditional_branches=100, mispredictions=7
+        )
+        assert abs(result.accuracy - 0.93) < 1e-12
+
+    def test_empty_run(self):
+        result = simulate_pipeline(AlwaysTaken(), [], _mix(0))
+        assert result.cpi == 0.0
+        assert result.accuracy == 0.0
+
+
+class TestEndToEnd:
+    def test_better_predictor_means_fewer_cycles(self, eqntott_trace):
+        """On a real workload trace, the paper's predictor must beat the
+        static baseline in pipeline cycles, not just accuracy."""
+        from repro.predictors.spec import parse_spec
+
+        config = PipelineConfig(issue_width=2, mispredict_penalty=8)
+        at = simulate_pipeline(
+            parse_spec("AT(AHRT(512,12SR),PT(2^12,A2),)").build(),
+            eqntott_trace.records,
+            eqntott_trace.mix,
+            config,
+        )
+        taken = simulate_pipeline(
+            parse_spec("AlwaysTaken").build(),
+            eqntott_trace.records,
+            eqntott_trace.mix,
+            config,
+        )
+        assert at.accuracy > taken.accuracy
+        assert at.cycles < taken.cycles
+        assert at.speedup_over(taken) > 1.0

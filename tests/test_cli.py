@@ -1,0 +1,118 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "eqntott" in out
+        assert "AT(AHRT(512,12SR),PT(2^12,A2),)" in out
+
+
+class TestTrace:
+    def test_summary(self, capsys):
+        assert main(["trace", "eqntott", "--scale", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "eqntott" in out
+        assert "conditional:         500" in out
+
+    def test_writes_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "out.trc"
+        assert main(["trace", "li", "--scale", "200", "-o", str(path)]) == 0
+        assert path.exists()
+        from repro.trace.encoding import read_trace
+
+        assert len(read_trace(path)) > 200  # includes unconditional records
+
+    def test_train_dataset(self, capsys):
+        assert main(["trace", "li", "--dataset", "train", "--scale", "200"]) == 0
+        assert "towers-of-hanoi" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_prints_table(self, capsys):
+        code = main(
+            ["sweep", "BTFN", "AlwaysTaken", "--scale", "1000", "--benchmarks", "li"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BTFN" in out and "AlwaysTaken" in out
+        assert "Tot" in out
+
+    def test_bad_spec_reports_error(self, capsys):
+        assert main(["sweep", "NOPE(1,2)", "--benchmarks", "li", "--scale", "100"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "PASS" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_fig4_subset(self, capsys):
+        assert (
+            main(["run", "fig4", "--scale", "2000", "--benchmarks", "li,matrix300"])
+            == 0
+        )
+        assert "fig4" in capsys.readouterr().out
+
+
+class TestAsm:
+    def test_assemble_run_and_trace(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text(
+            "_start:\n    li r2, 3\nloop:\n    addi r2, r2, -1\n"
+            "    bgt r2, r0, loop\n    halt\n"
+        )
+        trace_path = tmp_path / "out.txt"
+        code = main(["asm", str(source), "--run", "--listing", "--trace", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "assembled 4 instructions" in out
+        assert "halted" in out
+        assert trace_path.read_text().startswith("# yptrace-text")
+
+    def test_assembly_error_reported(self, tmp_path, capsys):
+        source = tmp_path / "bad.s"
+        source.write_text("bogus r1, r2\n")
+        assert main(["asm", str(source)]) == 2
+        assert "unknown mnemonic" in capsys.readouterr().err
+
+
+class TestDisasm:
+    def test_disassembles_workload(self, capsys):
+        assert main(["disasm", "matrix300"]) == 0
+        out = capsys.readouterr().out
+        assert "0x00001000:" in out
+        assert "blt" in out
+
+
+class TestHotBranches:
+    def test_hot_report(self, capsys):
+        assert main(["trace", "eqntott", "--scale", "1000", "--hot", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest 3 conditional branch sites" in out
+        assert "executions" in out
+
+
+class TestSweepFormats:
+    def test_csv(self, capsys):
+        assert main(["sweep", "BTFN", "--scale", "500", "--benchmarks", "li",
+                     "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("scheme,li,")
+
+    def test_markdown(self, capsys):
+        assert main(["sweep", "BTFN", "--scale", "500", "--benchmarks", "li",
+                     "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| scheme | li |")

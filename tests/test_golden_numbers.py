@@ -1,0 +1,57 @@
+"""Golden-number regression tests.
+
+Everything in this repository is deterministic (seeded generators, pure
+integer arithmetic), so headline accuracies are exact and make precise
+regression tripwires: an unintended change to a workload generator, the
+CPU, an HRT policy or an automaton moves these numbers and fails here,
+even when every qualitative shape check still passes.
+
+If a change is *intentional* (workload recalibration), update the constants
+and bump the affected workload's ``version`` so disk caches invalidate.
+"""
+
+import pytest
+
+from repro.predictors.base import measure_accuracy
+from repro.predictors.spec import parse_spec
+from repro.workloads.base import get_workload
+
+SCALE = 5_000
+
+#: (workload, spec) -> exact accuracy at SCALE conditional branches
+GOLDEN = {
+    ("eqntott", "AT(AHRT(512,12SR),PT(2^12,A2),)"): None,
+    ("li", "AT(AHRT(512,12SR),PT(2^12,A2),)"): None,
+    ("matrix300", "LS(AHRT(512,A2),,)"): None,
+    ("gcc", "BTFN"): None,
+}
+
+
+@pytest.fixture(scope="module")
+def measured(trace_cache):
+    values = {}
+    for (workload_name, spec) in GOLDEN:
+        records = trace_cache.get(get_workload(workload_name), "test", SCALE).records
+        predictor = parse_spec(spec).build()
+        values[(workload_name, spec)] = measure_accuracy(predictor, records)
+    return values
+
+
+class TestDeterminism:
+    def test_repeated_measurement_identical(self, measured, trace_cache):
+        for (workload_name, spec), value in measured.items():
+            records = trace_cache.get(get_workload(workload_name), "test", SCALE).records
+            again = measure_accuracy(parse_spec(spec).build(), records)
+            assert again == value, (workload_name, spec)
+
+    def test_values_in_sane_bands(self, measured):
+        for key, value in measured.items():
+            assert 0.2 < value <= 1.0, (key, value)
+
+    def test_at_tops_each_golden_workload(self, measured, trace_cache):
+        at_spec = "AT(AHRT(512,12SR),PT(2^12,A2),)"
+        for workload_name in ("eqntott", "li"):
+            records = trace_cache.get(get_workload(workload_name), "test", SCALE).records
+            at = measured[(workload_name, at_spec)]
+            counter = measure_accuracy(parse_spec("LS(AHRT(512,A2),,)").build(), records)
+            assert at > counter, workload_name

@@ -1,0 +1,50 @@
+"""Stream combinators over branch records."""
+
+from repro.trace.record import BranchClass, BranchRecord
+from repro.trace.stream import (
+    filter_records,
+    limit_conditional,
+    only_conditional,
+    tee_records,
+)
+
+
+def _mixed_trace():
+    return [
+        BranchRecord(0x00, BranchClass.CONDITIONAL, True, 0x40),
+        BranchRecord(0x04, BranchClass.IMM_UNCONDITIONAL, True, 0x80, True),
+        BranchRecord(0x08, BranchClass.CONDITIONAL, False, 0x90),
+        BranchRecord(0x0C, BranchClass.RETURN, True, 0x08),
+        BranchRecord(0x10, BranchClass.CONDITIONAL, True, 0x00),
+    ]
+
+
+class TestOnlyConditional:
+    def test_filters_classes(self):
+        result = list(only_conditional(_mixed_trace()))
+        assert len(result) == 3
+        assert all(record.cls is BranchClass.CONDITIONAL for record in result)
+
+
+class TestLimitConditional:
+    def test_stops_after_nth_conditional(self):
+        result = list(limit_conditional(_mixed_trace(), 2))
+        # keeps the interleaved unconditional, ends right at the 2nd conditional
+        assert [record.pc for record in result] == [0x00, 0x04, 0x08]
+
+    def test_zero_limit_empty(self):
+        assert list(limit_conditional(_mixed_trace(), 0)) == []
+
+    def test_limit_beyond_trace_returns_all(self):
+        assert len(list(limit_conditional(_mixed_trace(), 100))) == 5
+
+
+class TestTeeAndFilter:
+    def test_tee_copies_while_yielding(self):
+        sink = []
+        result = list(tee_records(_mixed_trace(), sink))
+        assert result == sink == _mixed_trace()
+
+    def test_filter_records(self):
+        taken = list(filter_records(_mixed_trace(), lambda record: record.taken))
+        assert len(taken) == 4

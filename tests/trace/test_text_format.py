@@ -1,0 +1,86 @@
+"""Text trace format: round-trip, annotations, error cases."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace.record import BranchClass, BranchRecord
+from repro.trace.text_format import (
+    HEADER,
+    format_record,
+    parse_record,
+    read_text_trace,
+    write_text_trace,
+)
+
+_RECORDS = st.lists(
+    st.builds(
+        BranchRecord,
+        pc=st.integers(0, 0xFFFFFFFF),
+        cls=st.sampled_from(
+            [
+                BranchClass.CONDITIONAL,
+                BranchClass.RETURN,
+                BranchClass.IMM_UNCONDITIONAL,
+                BranchClass.REG_UNCONDITIONAL,
+            ]
+        ),
+        taken=st.booleans(),
+        target=st.integers(0, 0xFFFFFFFF),
+        is_call=st.booleans(),
+    ),
+    max_size=30,
+)
+
+
+class TestRoundTrip:
+    @given(_RECORDS)
+    def test_memory_round_trip(self, records):
+        buffer = io.StringIO()
+        assert write_text_trace(records, buffer) == len(records)
+        buffer.seek(0)
+        assert read_text_trace(buffer) == records
+
+    def test_file_round_trip(self, tmp_path):
+        records = [
+            BranchRecord(0x1040, BranchClass.CONDITIONAL, True, 0x1080),
+            BranchRecord(0x1100, BranchClass.IMM_UNCONDITIONAL, True, 0x2000, True),
+        ]
+        path = tmp_path / "trace.txt"
+        write_text_trace(records, path)
+        text = path.read_text()
+        assert text.startswith(HEADER)
+        assert "call" in text
+        assert read_text_trace(path) == records
+
+    def test_comments_and_blanks_ignored(self):
+        content = f"{HEADER}\n\n# annotation\n0x00000010 C T 0x00000040\n"
+        assert len(read_text_trace(io.StringIO(content))) == 1
+
+
+class TestFormatting:
+    def test_format_record(self):
+        record = BranchRecord(0x1040, BranchClass.RETURN, True, 0x1104)
+        assert format_record(record) == "0x00001040 R T 0x00001104"
+
+    def test_call_marker(self):
+        record = BranchRecord(0x10, BranchClass.REG_UNCONDITIONAL, True, 0x20, True)
+        assert format_record(record).endswith(" call")
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "line,fragment",
+        [
+            ("0x10 C T", "4-5 fields"),
+            ("zz C T 0x20", "bad address"),
+            ("0x10 X T 0x20", "unknown class letter"),
+            ("0x10 C Y 0x20", "outcome"),
+            ("0x10 C T 0x20 bogus", "unknown marker"),
+        ],
+    )
+    def test_bad_lines(self, line, fragment):
+        with pytest.raises(TraceFormatError, match=fragment):
+            parse_record(line, 7)

@@ -1,0 +1,112 @@
+"""Every analog program: assembles, runs, and matches its demographics.
+
+These are the integration tests for the trace-generating substrate — each
+workload's program must execute correctly on the CPU and produce branch
+behaviour in the bands DESIGN.md documents.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.trace.stats import static_branch_census, taken_rate
+from repro.workloads.base import FLOATING_POINT, INTEGER, get_workload, workload_names
+
+SCALE = 12_000
+
+
+@pytest.fixture(scope="module")
+def traces(trace_cache):
+    return {
+        name: trace_cache.get(get_workload(name), "test", SCALE)
+        for name in workload_names()
+    }
+
+
+class TestAssembly:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_dataset_assembles(self, name):
+        workload = get_workload(name)
+        for role in workload.datasets:
+            program = assemble(workload.build_source(workload.dataset(role)))
+            assert len(program) > 50
+
+    @pytest.mark.parametrize("name", ["espresso", "gcc", "doduc", "spice2g6"])
+    def test_train_and_test_have_identical_text_layout(self, name):
+        """Table 3 data-set pairs are inputs to the *same* program: the
+        instruction count (and therefore every branch PC) must match."""
+        workload = get_workload(name)
+        test_program = assemble(workload.build_source(workload.dataset("test")))
+        train_program = assemble(workload.build_source(workload.dataset("train")))
+        assert len(test_program) == len(train_program)
+
+
+class TestDemographics:
+    def test_trace_reaches_cap(self, traces):
+        for name, trace in traces.items():
+            assert trace.mix.conditional == SCALE, name
+
+    def test_branch_fractions(self, traces):
+        for name, trace in traces.items():
+            category = get_workload(name).category
+            fraction = trace.mix.branch_fraction
+            if category == INTEGER:
+                assert 0.15 < fraction < 0.50, (name, fraction)
+            else:
+                assert 0.02 < fraction < 0.30, (name, fraction)
+
+    def test_fpppp_has_lowest_branch_fraction(self, traces):
+        fractions = {name: trace.mix.branch_fraction for name, trace in traces.items()}
+        assert min(fractions, key=fractions.get) == "fpppp"
+
+    def test_conditionals_dominate_branches(self, traces):
+        for name, trace in traces.items():
+            assert trace.mix.conditional_fraction_of_branches > 0.5, name
+
+    def test_taken_rate_near_sixty_percent_overall(self, traces):
+        rates = [taken_rate(trace.records) for trace in traces.values()]
+        overall = sum(rates) / len(rates)
+        assert 0.50 < overall < 0.80
+
+    def test_static_branch_populations(self, traces):
+        # Engineered to track Table 1 (gcc deliberately scaled down).  The
+        # census grows with trace length as the cold tail gets visited, so
+        # these bands are set for this file's 12k-branch scale; the table1
+        # experiment re-checks against the paper's counts at full scale.
+        expectations = {
+            "eqntott": (150, 400),
+            "espresso": (300, 700),
+            "gcc": (800, 3000),
+            "li": (180, 650),
+            "doduc": (450, 1400),
+            "fpppp": (200, 800),
+            "matrix300": (120, 300),
+            "spice2g6": (250, 750),
+            "tomcatv": (220, 480),
+        }
+        for name, (low, high) in expectations.items():
+            count = static_branch_census(traces[name].records).static_conditional
+            assert low <= count <= high, (name, count)
+
+    def test_calls_and_returns_present(self, traces):
+        """Recursive/call-heavy analogs must exercise the return classes."""
+        for name in ("li", "fpppp", "gcc"):
+            mix = traces[name].mix
+            assert mix.returns > 0, name
+
+    def test_gcc_uses_register_jumps(self, traces):
+        assert traces["gcc"].mix.reg_unconditional > 0
+
+
+class TestDataSetDivergence:
+    @pytest.mark.parametrize("name", ["espresso", "gcc", "li", "doduc", "spice2g6"])
+    def test_train_trace_differs_from_test(self, trace_cache, name):
+        workload = get_workload(name)
+        test_outcomes = [
+            record.taken
+            for record in trace_cache.get(workload, "test", 3000).records
+        ]
+        train_outcomes = [
+            record.taken
+            for record in trace_cache.get(workload, "train", 3000).records
+        ]
+        assert test_outcomes != train_outcomes
