@@ -32,6 +32,7 @@ from repro.trace.text_format import write_text_trace
 from repro.trace.stats import conditional_pc_histogram, static_branch_census, taken_rate
 from repro.workloads.base import (
     DEFAULT_CONDITIONAL_BRANCHES,
+    TraceCache,
     default_cache,
     get_workload,
     workload_names,
@@ -44,14 +45,33 @@ def _parse_benchmarks(text: Optional[str]) -> Optional[List[str]]:
     return [name.strip() for name in text.split(",") if name.strip()]
 
 
+def _build_cache(args: argparse.Namespace) -> TraceCache:
+    """The trace cache the command should use.
+
+    ``--no-cache`` forces memory-only, ``--cache-dir`` selects an explicit
+    disk directory, otherwise the shared default cache (disk-backed under
+    ``~/.cache/repro-traces`` unless ``REPRO_CACHE_DIR`` overrides it).
+    """
+    if getattr(args, "no_cache", False):
+        return TraceCache(disk_dir=None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return TraceCache(disk_dir=cache_dir)
+    return default_cache()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     benchmarks = _parse_benchmarks(args.benchmarks)
+    cache = _build_cache(args)
     failures = 0
     for exp_id in ids:
         spec = get_experiment(exp_id)
         report = spec.run(
-            max_conditional=args.scale, benchmarks=benchmarks, cache=default_cache()
+            max_conditional=args.scale,
+            benchmarks=benchmarks,
+            cache=cache,
+            jobs=args.jobs,
         )
         print(report.render())
         print()
@@ -67,7 +87,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.specs,
         benchmarks=_parse_benchmarks(args.benchmarks),
         max_conditional=args.scale,
-        cache=default_cache(),
+        cache=_build_cache(args),
+        jobs=args.jobs,
     )
     if args.format != "table":
         from repro.sim.export import sweep_to_csv, sweep_to_markdown
@@ -175,6 +196,23 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_perf_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the sweep-running subcommands (run, sweep)."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep grid (1 = serial, 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="disk trace-cache directory (default: ~/.cache/repro-traces,"
+             " or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the disk trace cache (keep traces in memory only)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="conditional branches simulated per benchmark (paper: 20,000,000)",
     )
     run_parser.add_argument("--benchmarks", help="comma-separated workload subset")
+    _add_perf_options(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = sub.add_parser("sweep", help="simulate arbitrary predictor specs")
@@ -204,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "csv", "markdown"), default="table",
         help="output format",
     )
+    _add_perf_options(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     trace_parser = sub.add_parser("trace", help="generate a workload trace")

@@ -33,9 +33,10 @@ def run(
     max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
+    jobs: int = 1,
 ) -> ExperimentReport:
     runner = SweepRunner(benchmarks, max_conditional, cache)
-    sweep = runner.run(SPECS)
+    sweep = runner.run(SPECS, jobs=jobs)
 
     # Static Training as realistically deployed: Diff where Table 3 provides
     # a training set, Same (best case) where it does not.

@@ -30,8 +30,9 @@ def run(
     max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
+    jobs: int = 1,
 ) -> ExperimentReport:
-    sweep = run_sweep(SPECS, benchmarks, max_conditional, cache)
+    sweep = run_sweep(SPECS, benchmarks, max_conditional, cache, jobs=jobs)
     means = {spec: sweep.mean(spec) for spec in sweep.schemes()}
     a2, a3, a4, lt = (means[spec] for spec in SPECS)
 

@@ -34,8 +34,9 @@ def run(
     max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
+    jobs: int = 1,
 ) -> ExperimentReport:
-    sweep = run_sweep(SPECS, benchmarks, max_conditional, cache)
+    sweep = run_sweep(SPECS, benchmarks, max_conditional, cache, jobs=jobs)
     means = [sweep.mean(spec) for spec in SPECS]
     ihrt, ahrt512, hhrt512, ahrt256, hhrt256 = means
 

@@ -37,9 +37,10 @@ def run(
     max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
+    jobs: int = 1,
 ) -> ExperimentReport:
     runner = SweepRunner(benchmarks, max_conditional, cache)
-    sweep = runner.run(SPECS)
+    sweep = runner.run(SPECS, jobs=jobs)
 
     same_ihrt = sweep.accuracies("ST(IHRT(,12SR),PT(2^12,PB),Same)")
     diff_ihrt = sweep.accuracies("ST(IHRT(,12SR),PT(2^12,PB),Diff)")

@@ -48,8 +48,9 @@ def run(
     max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
+    jobs: int = 1,
 ) -> ExperimentReport:
-    del max_conditional, benchmarks, cache  # table 2 is configuration-only
+    del max_conditional, benchmarks, cache, jobs  # table 2 is configuration-only
     training = list(random_program(64, 4000, seed=7))
 
     rows = []

@@ -37,7 +37,9 @@ def run(
     max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
+    jobs: int = 1,
 ) -> ExperimentReport:
+    del jobs  # single pass over cached traces; nothing to parallelise
     cache = cache if cache is not None else default_cache()
     names = list(benchmarks) if benchmarks is not None else workload_names()
 

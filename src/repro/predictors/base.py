@@ -27,6 +27,19 @@ class ConditionalBranchPredictor(ABC):
     def update(self, pc: int, target: int, taken: bool) -> None:
         """Inform the predictor of the resolved outcome."""
 
+    def observe(self, pc: int, target: int, taken: bool) -> bool:
+        """Score one resolved branch: predict it, apply the outcome, and
+        return the prediction that was made.
+
+        Must behave exactly like :meth:`predict` followed by :meth:`update`
+        (the default does literally that).  Schemes whose two halves share a
+        table lookup override this to do the lookup once; the columnar fast
+        path in :func:`repro.sim.engine.simulate_packed` drives predictors
+        through this hook."""
+        prediction = self.predict(pc, target)
+        self.update(pc, target, taken)
+        return prediction
+
     def reset(self) -> None:
         """Restore start-of-execution state.  Stateless schemes need not
         override this."""

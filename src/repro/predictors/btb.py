@@ -40,6 +40,14 @@ class LeeSmithPredictor(ConditionalBranchPredictor):
         state = self.hrt.get(pc)
         self.hrt.put(pc, self.automaton.transitions[state][1 if taken else 0])
 
+    def observe(self, pc: int, target: int, taken: bool) -> bool:
+        # One table lookup serves both halves; same residency argument as
+        # TwoLevelAdaptivePredictor.observe.
+        state = self.hrt.get(pc)
+        automaton = self.automaton
+        self.hrt.put(pc, automaton.transitions[state][1 if taken else 0])
+        return automaton.predictions[state]
+
     def reset(self) -> None:
         self.hrt.reset()
 

@@ -53,6 +53,16 @@ class PatternTable:
         states = self._states
         states[index] = self.automaton.transitions[states[index]][1 if taken else 0]
 
+    def observe(self, pattern: int, taken: bool) -> bool:
+        """Fused :meth:`predict` + :meth:`update`: one entry lookup serves
+        both the prediction read and the state transition."""
+        index = pattern & (self.num_entries - 1)
+        states = self._states
+        state = states[index]
+        automaton = self.automaton
+        states[index] = automaton.transitions[state][1 if taken else 0]
+        return automaton.predictions[state]
+
     def reset(self) -> None:
         """Reinitialise every entry (section 4.2 start-of-execution state)."""
         self._states = [self.automaton.init_state] * self.num_entries

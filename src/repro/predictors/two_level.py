@@ -60,6 +60,16 @@ class TwoLevelAdaptivePredictor(ConditionalBranchPredictor):
         new_history = ((history << 1) | (1 if taken else 0)) & self._mask
         self.hrt.put(pc, new_history)
 
+    def observe(self, pc: int, target: int, taken: bool) -> bool:
+        # Fused predict+update: predict's hrt.get leaves the entry resident
+        # and most-recently-used, so update's repeat lookup always hits the
+        # same register — one get plus the fused pattern-table access gives
+        # the identical prediction, transition, and final table state.
+        history = self.hrt.get(pc)
+        prediction = self.pattern_table.observe(history, taken)
+        self.hrt.put(pc, ((history << 1) | (1 if taken else 0)) & self._mask)
+        return prediction
+
     def reset(self) -> None:
         self.hrt.reset()
         self.pattern_table.reset()

@@ -12,7 +12,7 @@ from repro.sim.analysis import (
     pattern_conflicts,
     windowed_accuracy,
 )
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate, simulate_packed
 from repro.sim.export import rows_to_markdown, sweep_to_csv, sweep_to_markdown
 from repro.sim.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
 from repro.sim.results import (
@@ -21,6 +21,7 @@ from repro.sim.results import (
     SweepResult,
     geometric_mean,
 )
+from repro.sim.parallel import run_parallel_sweep
 from repro.sim.runner import SweepRunner, run_sweep
 
 __all__ = [
@@ -33,8 +34,10 @@ __all__ = [
     "SweepRunner",
     "geometric_mean",
     "rows_to_markdown",
+    "run_parallel_sweep",
     "run_sweep",
     "simulate",
+    "simulate_packed",
     "sweep_to_csv",
     "sweep_to_markdown",
     "simulate_pipeline",

@@ -1,0 +1,207 @@
+"""Parallel sweep execution over a process pool.
+
+The experiment grid behind every figure is (predictor spec x benchmark):
+dozens of independent simulations that a single CPython interpreter grinds
+through serially.  :func:`run_parallel_sweep` fans that grid out over a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* The coordinating process first *warms* a shared on-disk
+  :class:`~repro.workloads.base.TraceCache` — every benchmark's ISA trace is
+  generated exactly once per machine and written in the binary trace format,
+  so workers only ever pay the (cheap, columnar) disk read.  A memory-only
+  cache is transparently given a temporary disk directory for the duration
+  of the sweep.
+* Each task is a picklable ``(spec, benchmark, cap)`` tuple; the worker
+  initializer builds a per-process cache against the shared directory, so a
+  worker that simulates several configurations of one benchmark loads its
+  trace once.
+* Results merge into the :class:`~repro.sim.results.SweepResult` in the
+  deterministic (spec-order, then benchmark-order) sequence of the serial
+  runner, regardless of task completion order, so serial and parallel sweeps
+  are byte-identical.
+* ``jobs <= 1``, pool start-up failure, or task pickling failure all fall
+  back to the serial :meth:`~repro.sim.runner.SweepRunner.run` path with
+  identical output.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.predictors.spec import PredictorSpec, parse_spec
+from repro.sim.results import BenchmarkResult, PredictionStats, SweepResult
+from repro.workloads.base import TraceCache, get_workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.runner import SweepRunner
+
+#: (spec string, benchmark name, conditional-branch cap)
+Task = Tuple[str, str, int]
+#: picklable flat result: the four PredictionStats counters
+StatsTuple = Tuple[int, int, int, int]
+
+_WORKER_CACHE: Optional[TraceCache] = None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means one worker per CPU."""
+    if not jobs:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _init_worker(cache_dir: str) -> None:
+    """Process-pool initializer: point this worker at the shared disk cache."""
+    global _WORKER_CACHE
+    _WORKER_CACHE = TraceCache(disk_dir=cache_dir)
+
+
+def _run_task(task: Task) -> StatsTuple:
+    """Simulate one (spec, benchmark) cell inside a worker process."""
+    from repro.sim.runner import SweepRunner
+
+    spec_text, benchmark, cap = task
+    assert _WORKER_CACHE is not None, "worker initializer did not run"
+    runner = SweepRunner(
+        benchmarks=[benchmark], max_conditional=cap, cache=_WORKER_CACHE
+    )
+    stats = runner.run_one(spec_text, benchmark).stats
+    return (
+        stats.conditional_total,
+        stats.conditional_correct,
+        stats.returns_total,
+        stats.returns_correct,
+    )
+
+
+def _plan_cells(
+    specs: Sequence[PredictorSpec],
+    benchmarks: Sequence[str],
+    skip_unavailable: bool,
+) -> List[Tuple[int, str]]:
+    """The (spec index, benchmark) grid in deterministic serial order.
+
+    Applies the serial runner's ST-Diff skipping rule up front so the task
+    list (and any :class:`~repro.errors.WorkloadError`) is identical to what
+    the serial sweep would produce.
+    """
+    cells: List[Tuple[int, str]] = []
+    for index, spec in enumerate(specs):
+        for benchmark in benchmarks:
+            if spec.scheme == "ST" and spec.data_mode == "Diff":
+                if not get_workload(benchmark).has_training_set:
+                    if skip_unavailable:
+                        continue
+                    raise WorkloadError(
+                        f"benchmark {benchmark!r} has no alternative training data set"
+                        " (Table 3 marks it NA)"
+                    )
+            cells.append((index, benchmark))
+    return cells
+
+
+def _warm_disk_cache(
+    cache: TraceCache,
+    specs: Sequence[PredictorSpec],
+    cells: Sequence[Tuple[int, str]],
+    cap: int,
+) -> None:
+    """Generate every trace the sweep needs, once, into the disk layer."""
+    needed: List[Tuple[str, str]] = []
+    for index, benchmark in cells:
+        spec = specs[index]
+        if (benchmark, "test") not in needed:
+            needed.append((benchmark, "test"))
+        if spec.scheme == "ST" and spec.data_mode == "Diff":
+            if (benchmark, "train") not in needed:
+                needed.append((benchmark, "train"))
+    for benchmark, role in needed:
+        cache.ensure_on_disk(get_workload(benchmark), role, cap)
+
+
+def run_parallel_sweep(
+    runner: "SweepRunner",
+    specs: Sequence[object],
+    jobs: Optional[int] = None,
+    skip_unavailable: bool = True,
+) -> SweepResult:
+    """Run ``runner``'s sweep grid across ``jobs`` worker processes.
+
+    Returns a :class:`SweepResult` identical to
+    ``runner.run(specs, skip_unavailable)``.  Falls back to that serial path
+    outright for ``jobs == 1`` and on any pool/pickling failure.
+    """
+    parsed = [
+        spec if isinstance(spec, PredictorSpec) else parse_spec(str(spec))
+        for spec in specs
+    ]
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or not parsed:
+        return runner.run(parsed, skip_unavailable)
+
+    cells = _plan_cells(parsed, runner.benchmarks, skip_unavailable)
+    cap = runner.max_conditional
+
+    temp_dir: Optional[str] = None
+    if runner.cache.disk_dir is not None:
+        disk_cache = runner.cache
+    else:
+        temp_dir = tempfile.mkdtemp(prefix="repro-sweep-")
+        disk_cache = runner.cache.with_disk(temp_dir)
+    try:
+        _warm_disk_cache(disk_cache, parsed, cells, cap)
+        tasks: List[Task] = [
+            (parsed[index].canonical(), benchmark, cap) for index, benchmark in cells
+        ]
+        try:
+            outcomes = _dispatch(tasks, jobs, str(disk_cache.disk_dir))
+        except Exception:
+            # pool start-up or pickling failure (restricted platforms, exotic
+            # specs): the serial path always works and gives identical output
+            return runner.run(parsed, skip_unavailable)
+        return _merge(parsed, cells, outcomes, runner)
+    finally:
+        if temp_dir is not None:
+            shutil.rmtree(temp_dir, ignore_errors=True)
+
+
+def _dispatch(tasks: Sequence[Task], jobs: int, cache_dir: str) -> List[StatsTuple]:
+    """Run all tasks on the pool, preserving task order in the result list."""
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)),
+        initializer=_init_worker,
+        initargs=(cache_dir,),
+    ) as pool:
+        return list(pool.map(_run_task, tasks, chunksize=1))
+
+
+def _merge(
+    specs: Sequence[PredictorSpec],
+    cells: Sequence[Tuple[int, str]],
+    outcomes: Sequence[StatsTuple],
+    runner: "SweepRunner",
+) -> SweepResult:
+    """Assemble the SweepResult in the serial runner's deterministic order."""
+    by_cell: Dict[Tuple[int, str], StatsTuple] = dict(zip(cells, outcomes))
+    sweep = SweepResult()
+    for index, spec in enumerate(specs):
+        for benchmark in runner.benchmarks:
+            flat = by_cell.get((index, benchmark))
+            if flat is None:
+                continue
+            stats = PredictionStats(
+                conditional_total=flat[0],
+                conditional_correct=flat[1],
+                returns_total=flat[2],
+                returns_correct=flat[3],
+            )
+            result = BenchmarkResult(
+                scheme=spec.canonical(), benchmark=benchmark, stats=stats
+            )
+            sweep.add(result, category=get_workload(benchmark).category)
+    return sweep

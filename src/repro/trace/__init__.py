@@ -8,6 +8,7 @@ simulator in :mod:`repro.sim`).  A trace is simply an iterable of
 """
 
 from repro.trace.record import BranchClass, BranchRecord, InstructionMix
+from repro.trace.columnar import PackedTrace, pack_records, read_packed_trace
 from repro.trace.encoding import read_trace, write_trace
 from repro.trace.stats import (
     StaticBranchCensus,
@@ -22,10 +23,13 @@ __all__ = [
     "BranchClass",
     "BranchRecord",
     "InstructionMix",
+    "PackedTrace",
     "StaticBranchCensus",
     "collect_mix",
     "limit_conditional",
     "only_conditional",
+    "pack_records",
+    "read_packed_trace",
     "read_text_trace",
     "read_trace",
     "static_branch_census",

@@ -1,0 +1,170 @@
+"""Columnar (structure-of-arrays) packed trace representation.
+
+A branch trace is normally a ``List[BranchRecord]`` — convenient, but a
+Python sweep pays tuple attribute lookups and enum identity checks for every
+one of the millions of records it replays.  :class:`PackedTrace` stores the
+same information as parallel machine-typed columns:
+
+* ``pc`` / ``target`` — ``array('I')`` of 32-bit addresses,
+* ``flags`` — ``bytes``, one byte per record in exactly the on-disk flag
+  layout of :mod:`repro.trace.encoding` (bit 0 = taken, bits 1..3 = class,
+  bit 4 = is_call),
+
+plus three *derived* conditional-only columns (``cond_pc``, ``cond_target``,
+``cond_taken``) so the direction-predictor hot loop in
+:func:`repro.sim.engine.simulate_packed` touches nothing but the records it
+scores.  The round-trip ``records -> pack_records -> to_records`` is
+lossless for every valid branch record (32-bit addresses, all four branch
+classes, both flag bits).
+
+``read_packed_trace`` parses a binary trace file straight into columns
+without materialising intermediate :class:`BranchRecord` objects, which
+makes warm cache hits in a parallel sweep cheap.
+"""
+
+from __future__ import annotations
+
+from array import array
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import TraceFormatError
+from repro.trace.record import BranchClass, BranchRecord
+
+#: bits a valid flag byte may use: taken (0x01), class 0..3 (0x06), call (0x10).
+_VALID_FLAG_MASK = 0x17
+_CLS_MASK = 0x0E
+_RETURN_BITS = int(BranchClass.RETURN) << 1
+
+_ADDR_TYPECODE = "I" if array("I").itemsize >= 4 else "L"
+
+
+def pack_flags(taken: bool, cls: BranchClass, is_call: bool) -> int:
+    """Pack the per-record flag byte (same layout as the binary format)."""
+    return (1 if taken else 0) | (int(cls) << 1) | (0x10 if is_call else 0)
+
+
+def unpack_flags(flags: int) -> Tuple[bool, BranchClass, bool]:
+    """Inverse of :func:`pack_flags`; rejects invalid or non-branch classes."""
+    if flags & ~_VALID_FLAG_MASK:
+        cls_value = (flags >> 1) & 0x7
+        if cls_value == int(BranchClass.NON_BRANCH):
+            raise TraceFormatError("NON_BRANCH records are not allowed in traces")
+        raise TraceFormatError(f"invalid branch flags {flags:#04x}")
+    return bool(flags & 1), BranchClass((flags >> 1) & 0x3), bool(flags & 0x10)
+
+
+class PackedTrace:
+    """A branch trace packed into parallel columns.
+
+    Build one with :func:`pack_records` (from records) or
+    :func:`read_packed_trace` (from a binary trace file); convert back with
+    :meth:`to_records`.  Iterating a :class:`PackedTrace` yields
+    :class:`BranchRecord` objects, so it can stand in for a record list
+    anywhere a plain iterable is expected, while
+    :func:`repro.sim.engine.simulate` recognises the type and switches to
+    the columnar fast path.
+    """
+
+    __slots__ = ("pc", "target", "flags", "cond_pc", "cond_target", "cond_taken")
+
+    def __init__(self, pc: array, target: array, flags: bytes):
+        if not (len(pc) == len(target) == len(flags)):
+            raise TraceFormatError(
+                f"column length mismatch: pc={len(pc)} target={len(target)}"
+                f" flags={len(flags)}"
+            )
+        self.pc = pc
+        self.target = target
+        self.flags = flags
+        # The derived conditional-only columns are tuples rather than arrays:
+        # the replay loop reads every element once per simulated predictor,
+        # and tuples hand back already-boxed ints where an array would have
+        # to re-box on every pass.
+        cond_pc = []
+        cond_target = []
+        cond_taken = []
+        append_pc = cond_pc.append
+        append_target = cond_target.append
+        append_taken = cond_taken.append
+        for index, f in enumerate(flags):
+            if f & ~_VALID_FLAG_MASK:
+                unpack_flags(f)  # raises with a precise message
+            if not f & _CLS_MASK:  # BranchClass.CONDITIONAL == 0
+                append_pc(pc[index])
+                append_target(target[index])
+                append_taken(bool(f & 1))
+        self.cond_pc: Tuple[int, ...] = tuple(cond_pc)
+        self.cond_target: Tuple[int, ...] = tuple(cond_target)
+        self.cond_taken: Tuple[bool, ...] = tuple(cond_taken)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.flags)
+
+    @property
+    def num_conditional(self) -> int:
+        """Number of conditional-branch records in the trace."""
+        return len(self.cond_taken)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        for pc, target, flags in zip(self.pc, self.target, self.flags):
+            taken, cls, is_call = unpack_flags(flags)
+            yield BranchRecord(pc=pc, cls=cls, taken=taken, target=target, is_call=is_call)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedTrace):
+            return NotImplemented
+        return (
+            list(self.pc) == list(other.pc)
+            and list(self.target) == list(other.target)
+            and self.flags == other.flags
+        )
+
+    def to_records(self) -> List[BranchRecord]:
+        """Unpack back into the ordinary record-list representation."""
+        return list(self)
+
+
+def pack_records(records: Iterable[BranchRecord]) -> PackedTrace:
+    """Pack an iterable of records into a :class:`PackedTrace` (lossless)."""
+    pcs = array(_ADDR_TYPECODE)
+    targets = array(_ADDR_TYPECODE)
+    flags = bytearray()
+    for record in records:
+        pcs.append(record.pc & 0xFFFFFFFF)
+        targets.append(record.target & 0xFFFFFFFF)
+        flags.append(pack_flags(record.taken, record.cls, record.is_call))
+    return PackedTrace(pcs, targets, bytes(flags))
+
+
+def read_packed_trace(source: "Union[str, Path, IO[bytes]]") -> PackedTrace:
+    """Read a binary trace file (v1 or v2) directly into columns.
+
+    Equivalent to ``pack_records(read_trace(source))`` but skips the
+    per-record ``BranchRecord`` construction, so loading a cached trace costs
+    a fraction of regenerating or even re-reading it record-wise.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return _read_packed_handle(handle)
+    return _read_packed_handle(source)
+
+
+def _read_packed_handle(handle: IO[bytes]) -> PackedTrace:
+    from repro.trace import encoding
+
+    count, record_struct = encoding.read_header(handle)
+    raw = handle.read(count * record_struct.size)
+    if len(raw) != count * record_struct.size:
+        raise TraceFormatError(
+            f"truncated trace body: expected {count} records"
+        )
+    pcs = array(_ADDR_TYPECODE)
+    targets = array(_ADDR_TYPECODE)
+    flags = bytearray()
+    for fields in record_struct.iter_unpack(raw):
+        pcs.append(fields[0])
+        flags.append(fields[1])
+        targets.append(fields[2])
+    return PackedTrace(pcs, targets, bytes(flags))

@@ -1,11 +1,15 @@
 """Compact binary trace format with writer/reader.
 
-Layout (all little-endian):
+Version 2 layout (all little-endian):
 
-* 16-byte header: magic ``b"YPTRACE1"``, ``uint32`` record count,
+* 16-byte header: magic ``b"YPTRACE2"``, ``uint32`` record count,
   ``uint32`` reserved (zero).
-* one 13-byte record per branch: ``uint32 pc``, ``uint8`` packed class/taken
-  (bit 0 = taken, bits 1..3 = class), ``uint32 target``, ``uint32`` reserved.
+* one 9-byte record per branch: ``uint32 pc``, ``uint8`` packed class/taken
+  (bit 0 = taken, bits 1..3 = class, bit 4 = is_call), ``uint32 target``.
+
+Version 1 (magic ``b"YPTRACE1"``) carried an additional reserved ``uint32``
+per record (13 bytes each); the reader still accepts v1 files so existing
+disk caches keep working, while the writer always emits v2.
 
 The format exists so long trace generations can be cached on disk (the ISA
 simulator is the expensive stage; predictor sweeps re-read the cache).  It is
@@ -18,14 +22,16 @@ from __future__ import annotations
 import io
 import struct
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Union
+from typing import IO, Iterable, Iterator, List, Tuple, Union
 
 from repro.errors import TraceFormatError
 from repro.trace.record import BranchClass, BranchRecord
 
-MAGIC = b"YPTRACE1"
+MAGIC = b"YPTRACE2"
+MAGIC_V1 = b"YPTRACE1"
 _HEADER = struct.Struct("<8sII")
-_RECORD = struct.Struct("<IBII")
+_RECORD = struct.Struct("<IBI")
+_RECORD_V1 = struct.Struct("<IBII")
 
 PathOrFile = Union[str, Path, IO[bytes]]
 
@@ -52,7 +58,7 @@ def _unpack_flags(flags: int) -> "tuple[bool, BranchClass, bool]":
 
 
 def write_trace(records: Iterable[BranchRecord], destination: PathOrFile) -> int:
-    """Write ``records`` to ``destination``; return the record count.
+    """Write ``records`` to ``destination`` (v2 format); return the count.
 
     ``destination`` may be a path or a binary file object.  The record count
     is written into the header, so the iterable is drained into the body
@@ -62,7 +68,7 @@ def write_trace(records: Iterable[BranchRecord], destination: PathOrFile) -> int
     count = 0
     for record in records:
         body.write(
-            _RECORD.pack(record.pc & 0xFFFFFFFF, _pack_flags(record), record.target & 0xFFFFFFFF, 0)
+            _RECORD.pack(record.pc & 0xFFFFFFFF, _pack_flags(record), record.target & 0xFFFFFFFF)
         )
         count += 1
 
@@ -74,6 +80,24 @@ def write_trace(records: Iterable[BranchRecord], destination: PathOrFile) -> int
         destination.write(_HEADER.pack(MAGIC, count, 0))
         destination.write(body.getvalue())
     return count
+
+
+def read_header(handle: IO[bytes]) -> Tuple[int, struct.Struct]:
+    """Consume and validate a trace header.
+
+    Returns the record count and the per-record :class:`struct.Struct` for
+    the file's format version (the first three fields of every version are
+    ``pc``, ``flags``, ``target``).
+    """
+    header = handle.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, count, _reserved = _HEADER.unpack(header)
+    if magic == MAGIC:
+        return count, _RECORD
+    if magic == MAGIC_V1:
+        return count, _RECORD_V1
+    raise TraceFormatError(f"bad magic {magic!r}; expected {MAGIC!r} or {MAGIC_V1!r}")
 
 
 def read_trace(source: PathOrFile) -> List[BranchRecord]:
@@ -95,17 +119,11 @@ def iter_trace(source: PathOrFile) -> Iterator[BranchRecord]:
 
 
 def _iter_handle(handle: IO[bytes]) -> Iterator[BranchRecord]:
-    header = handle.read(_HEADER.size)
-    if len(header) != _HEADER.size:
-        raise TraceFormatError("truncated trace header")
-    magic, count, _reserved = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise TraceFormatError(f"bad magic {magic!r}; expected {MAGIC!r}")
-
+    count, record_struct = read_header(handle)
     for index in range(count):
-        raw = handle.read(_RECORD.size)
-        if len(raw) != _RECORD.size:
+        raw = handle.read(record_struct.size)
+        if len(raw) != record_struct.size:
             raise TraceFormatError(f"truncated trace body at record {index} of {count}")
-        pc, flags, target, _reserved = _RECORD.unpack(raw)
+        pc, flags, target = record_struct.unpack(raw)[:3]
         taken, cls, is_call = _unpack_flags(flags)
         yield BranchRecord(pc=pc, cls=cls, taken=taken, target=target, is_call=is_call)

@@ -17,6 +17,7 @@ from repro.workloads.base import (
     Workload,
     WorkloadTrace,
     default_cache,
+    default_cache_dir,
     get_workload,
     register_workload,
     workload_names,
@@ -42,6 +43,7 @@ __all__ = [
     "Workload",
     "WorkloadTrace",
     "default_cache",
+    "default_cache_dir",
     "get_workload",
     "register_workload",
     "workload_names",

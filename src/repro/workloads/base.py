@@ -26,7 +26,8 @@ from typing import Dict, List, Optional, Tuple, Type
 from repro.errors import WorkloadError
 from repro.isa.assembler import assemble
 from repro.isa.cpu import CPU
-from repro.trace.encoding import read_trace, write_trace
+from repro.trace.columnar import PackedTrace, pack_records, read_packed_trace
+from repro.trace.encoding import write_trace
 from repro.trace.record import BranchRecord, InstructionMix
 
 #: default per-benchmark conditional-branch cap for library-level runs; the
@@ -56,10 +57,22 @@ class DataSet:
 
 @dataclass
 class WorkloadTrace:
-    """A generated trace plus the statistics the figures need."""
+    """A generated trace plus the statistics the figures need.
+
+    The trace is held as the ordinary record list; :meth:`packed` derives
+    (and caches) the columnar :class:`~repro.trace.columnar.PackedTrace`
+    twin that the simulation fast path consumes.
+    """
 
     records: List[BranchRecord]
     mix: InstructionMix
+    _packed: Optional[PackedTrace] = field(default=None, repr=False, compare=False)
+
+    def packed(self) -> PackedTrace:
+        """The columnar form of :attr:`records` (packed once, then cached)."""
+        if self._packed is None:
+            self._packed = pack_records(self.records)
+        return self._packed
 
 
 class Workload(ABC):
@@ -148,9 +161,20 @@ class TraceCache:
 
     def __init__(self, disk_dir: "Optional[Path | str]" = None):
         self._memory: Dict[Tuple[str, str, int, int], WorkloadTrace] = {}
-        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.disk_dir = Path(disk_dir).expanduser() if disk_dir is not None else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    def with_disk(self, disk_dir: "Path | str") -> "TraceCache":
+        """A cache on ``disk_dir`` sharing this cache's in-memory store.
+
+        Used by the parallel sweep layer when the active cache is
+        memory-only: traces already generated stay reusable, while the disk
+        copy becomes visible to worker processes.
+        """
+        cache = TraceCache(disk_dir=disk_dir)
+        cache._memory = self._memory
+        return cache
 
     def get(
         self,
@@ -174,6 +198,29 @@ class TraceCache:
     def clear_memory(self) -> None:
         self._memory.clear()
 
+    def ensure_on_disk(
+        self,
+        workload: Workload,
+        role: str = "test",
+        max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
+    ) -> None:
+        """Guarantee the trace exists in the disk layer (generating at most
+        once); requires a cache constructed with ``disk_dir``.
+
+        The parallel sweep calls this from the coordinating process before
+        fanning out, so every worker finds each benchmark's trace on disk
+        instead of re-running the ISA simulator.
+        """
+        if self.disk_dir is None:
+            raise WorkloadError("ensure_on_disk requires a disk-backed TraceCache")
+        key = (workload.name, role, max_conditional, workload.version)
+        trace_path, meta_path = self._paths(key)
+        if trace_path.exists() and meta_path.exists():
+            return
+        trace = self.get(workload, role, max_conditional)
+        if not (trace_path.exists() and meta_path.exists()):  # get() may have stored it
+            self._store_disk(key, trace)
+
     # -- disk layer ----------------------------------------------------
     def _paths(self, key: Tuple[str, str, int, int]) -> Tuple[Path, Path]:
         assert self.disk_dir is not None
@@ -188,18 +235,19 @@ class TraceCache:
         if not (trace_path.exists() and meta_path.exists()):
             return None
         try:
-            records = read_trace(trace_path)
+            packed = read_packed_trace(trace_path)
             meta = json.loads(meta_path.read_text())
             mix = InstructionMix(**meta["mix"])
         except Exception:
             return None  # corrupt cache entries regenerate silently
-        return WorkloadTrace(records=records, mix=mix)
+        trace = WorkloadTrace(records=packed.to_records(), mix=mix)
+        trace._packed = packed  # the columnar form falls out of the read for free
+        return trace
 
     def _store_disk(self, key: Tuple[str, str, int, int], trace: WorkloadTrace) -> None:
         if self.disk_dir is None:
             return
         trace_path, meta_path = self._paths(key)
-        write_trace(trace.records, trace_path)
         meta = {
             "mix": {
                 "conditional": trace.mix.conditional,
@@ -209,16 +257,48 @@ class TraceCache:
                 "non_branch": trace.mix.non_branch,
             }
         }
-        meta_path.write_text(json.dumps(meta))
+        try:
+            write_trace(trace.records, trace_path)
+            meta_path.write_text(json.dumps(meta))
+        except OSError:
+            # a read-only or full disk must not break the run; the trace
+            # simply stays memory-only
+            for path in (trace_path, meta_path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+
+def default_cache_dir() -> Optional[Path]:
+    """The disk directory the default cache uses.
+
+    Resolution order: ``REPRO_CACHE_DIR`` (or the legacy
+    ``REPRO_TRACE_CACHE``) when set — an *empty* value disables the disk
+    layer entirely — otherwise ``$XDG_CACHE_HOME/repro-traces``, defaulting
+    to ``~/.cache/repro-traces``.
+    """
+    for var in ("REPRO_CACHE_DIR", "REPRO_TRACE_CACHE"):
+        if var in os.environ:
+            value = os.environ[var]
+            return Path(value).expanduser() if value else None
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    root = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return root / "repro-traces"
 
 
 def default_cache() -> TraceCache:
-    """The shared process-wide cache; honours ``REPRO_TRACE_CACHE`` for the
-    disk directory (unset means memory-only)."""
+    """The shared process-wide cache, disk-backed at :func:`default_cache_dir`.
+
+    Falls back to a memory-only cache when the directory cannot be created
+    (read-only home, sandboxed environments).
+    """
     global _DEFAULT_CACHE
     if _DEFAULT_CACHE is None:
-        disk = os.environ.get("REPRO_TRACE_CACHE")
-        _DEFAULT_CACHE = TraceCache(disk_dir=disk if disk else None)
+        try:
+            _DEFAULT_CACHE = TraceCache(disk_dir=default_cache_dir())
+        except OSError:
+            _DEFAULT_CACHE = TraceCache(disk_dir=None)
     return _DEFAULT_CACHE
 
 

@@ -48,6 +48,25 @@ class TestSweep:
         assert main(["sweep", "NOPE(1,2)", "--benchmarks", "li", "--scale", "100"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_sweep_with_jobs_matches_serial(self, tmp_path, capsys):
+        args = [
+            "sweep", "BTFN", "AlwaysTaken",
+            "--scale", "1000", "--benchmarks", "li",
+            "--cache-dir", str(tmp_path / "traces"),
+        ]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+        assert list((tmp_path / "traces").glob("*.trc"))
+
+    def test_sweep_no_cache(self, capsys):
+        code = main(
+            ["sweep", "BTFN", "--scale", "500", "--benchmarks", "li", "--no-cache"]
+        )
+        assert code == 0
+        assert "BTFN" in capsys.readouterr().out
+
 
 class TestRun:
     def test_run_table2(self, capsys):

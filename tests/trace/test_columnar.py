@@ -1,0 +1,137 @@
+"""Columnar packed traces: lossless round-trip, file parity, fast-path parity."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.predictors.automata import A2
+from repro.predictors.hrt import AHRT
+from repro.predictors.pattern_table import PatternTable
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.two_level import TwoLevelAdaptivePredictor
+from repro.sim.engine import simulate, simulate_packed
+from repro.trace.columnar import (
+    PackedTrace,
+    pack_flags,
+    pack_records,
+    read_packed_trace,
+    unpack_flags,
+)
+from repro.trace.encoding import write_trace
+from repro.trace.record import BranchClass, BranchRecord
+from repro.trace.synthetic import random_program
+
+_BRANCH_CLASSES = [
+    BranchClass.CONDITIONAL,
+    BranchClass.RETURN,
+    BranchClass.IMM_UNCONDITIONAL,
+    BranchClass.REG_UNCONDITIONAL,
+]
+
+#: all branch classes crossed with all taken/is_call combinations
+_RECORDS = st.lists(
+    st.builds(
+        BranchRecord,
+        pc=st.integers(0, 0xFFFFFFFF),
+        cls=st.sampled_from(_BRANCH_CLASSES),
+        taken=st.booleans(),
+        target=st.integers(0, 0xFFFFFFFF),
+        is_call=st.booleans(),
+    ),
+    max_size=80,
+)
+
+
+class TestRoundTrip:
+    @given(_RECORDS)
+    def test_pack_unpack_is_lossless(self, records):
+        packed = pack_records(records)
+        assert len(packed) == len(records)
+        assert packed.to_records() == records
+
+    @given(_RECORDS)
+    def test_conditional_columns_match(self, records):
+        packed = pack_records(records)
+        conditionals = [r for r in records if r.cls is BranchClass.CONDITIONAL]
+        assert packed.num_conditional == len(conditionals)
+        assert list(packed.cond_pc) == [r.pc for r in conditionals]
+        assert list(packed.cond_target) == [r.target for r in conditionals]
+        assert packed.cond_taken == tuple(r.taken for r in conditionals)
+
+    @given(_RECORDS)
+    def test_file_parity_with_record_reader(self, records):
+        buffer = io.BytesIO()
+        write_trace(records, buffer)
+        buffer.seek(0)
+        assert read_packed_trace(buffer).to_records() == records
+
+    def test_exhaustive_flag_byte_round_trip(self):
+        for cls in _BRANCH_CLASSES:
+            for taken in (False, True):
+                for is_call in (False, True):
+                    flags = pack_flags(taken, cls, is_call)
+                    assert unpack_flags(flags) == (taken, cls, is_call)
+
+    def test_iteration_yields_records(self):
+        records = [
+            BranchRecord(0x100, BranchClass.CONDITIONAL, True, 0x80),
+            BranchRecord(0x104, BranchClass.RETURN, True, 0x200),
+        ]
+        assert list(pack_records(records)) == records
+
+
+class TestValidation:
+    def test_non_branch_flags_rejected(self):
+        with pytest.raises(TraceFormatError, match="NON_BRANCH"):
+            unpack_flags(int(BranchClass.NON_BRANCH) << 1)
+
+    def test_column_length_mismatch_rejected(self):
+        from array import array
+
+        with pytest.raises(TraceFormatError, match="mismatch"):
+            PackedTrace(array("I", [1]), array("I", []), b"\x01")
+
+
+class TestSimulatePacked:
+    """The columnar fast path must score identically to the record loop."""
+
+    def _trace(self):
+        return list(random_program(static_branches=60, count=5_000, seed=3))
+
+    def test_matches_record_loop(self):
+        records = self._trace()
+        baseline = simulate(
+            TwoLevelAdaptivePredictor(AHRT(128), PatternTable(8, A2)), records
+        )
+        packed = simulate_packed(
+            TwoLevelAdaptivePredictor(AHRT(128), PatternTable(8, A2)),
+            pack_records(records),
+        )
+        assert packed == baseline
+
+    def test_matches_record_loop_with_ras(self):
+        records = self._trace()
+        baseline = simulate(
+            TwoLevelAdaptivePredictor(AHRT(128), PatternTable(8, A2)),
+            records,
+            ras=ReturnAddressStack(8),
+        )
+        packed = simulate_packed(
+            TwoLevelAdaptivePredictor(AHRT(128), PatternTable(8, A2)),
+            pack_records(records),
+            ras=ReturnAddressStack(8),
+        )
+        assert packed == baseline
+
+    def test_simulate_dispatches_on_packed_trace(self):
+        records = self._trace()
+        baseline = simulate(
+            TwoLevelAdaptivePredictor(AHRT(128), PatternTable(8, A2)), records
+        )
+        dispatched = simulate(
+            TwoLevelAdaptivePredictor(AHRT(128), PatternTable(8, A2)),
+            pack_records(records),
+        )
+        assert dispatched == baseline
