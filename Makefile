@@ -1,13 +1,25 @@
 # Common developer targets.
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test lint bench figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static checks: ruff + mypy over src/, plus the repo's own assembly linter
+# over every bundled workload.  ruff/mypy are skipped (with a notice) when
+# not installed so the target stays usable in minimal environments.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else echo "ruff not installed; skipping (pip install ruff)"; fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else echo "mypy not installed; skipping (pip install mypy)"; fi
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -6,7 +6,6 @@ benchmark mix — dominated by per-branch periodic behaviour — per-address
 history should win, with gshare recovering part of the gap over raw GAg.
 """
 
-from repro.predictors.spec import parse_spec
 from repro.sim.runner import run_sweep
 
 

@@ -14,7 +14,7 @@ the tournament must not fall meaningfully below its best component.
 from repro.predictors.automata import A2
 from repro.predictors.btb import LeeSmithPredictor
 from repro.predictors.extensions import PApPredictor, TournamentPredictor
-from repro.predictors.hrt import AHRT, IHRT
+from repro.predictors.hrt import AHRT
 from repro.predictors.pattern_table import PatternTable
 from repro.predictors.spec import parse_spec
 from repro.predictors.two_level import TwoLevelAdaptivePredictor

@@ -1,0 +1,68 @@
+"""Static analysis of assembled programs.
+
+The paper's methodology (section 4) rests on a *static* classification of
+every branch — conditional vs. unconditional, return, backward vs. forward —
+that the rest of the repository only ever derived dynamically, inside the
+trace pipeline.  This package computes the same facts without executing an
+instruction, so the dynamic simulator can be cross-validated against them:
+
+* :mod:`repro.analysis.cfg` — basic blocks, control-flow edges, dominators,
+  natural loops and strongly-connected components over a decoded
+  :class:`~repro.isa.program.Program`;
+* :mod:`repro.analysis.dataflow` — reaching definitions and register
+  liveness on that CFG, driven by the operand metadata in
+  :mod:`repro.isa.instructions`;
+* :mod:`repro.analysis.branches` — the static branch-site table (per-site
+  class, direction, BTFN prediction), the static analog of Table 1;
+* :mod:`repro.analysis.lint` — a rule engine (R001..R008) emitting
+  structured diagnostics, behind the ``repro lint`` CLI subcommand;
+* :mod:`repro.analysis.crossval` — asserts the static tables agree with
+  what the CPU/trace pipeline observes dynamically.
+"""
+
+from repro.analysis.branches import (
+    BranchSite,
+    static_branch_summary,
+    static_branch_table,
+)
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, Edge, EdgeKind, build_cfg
+from repro.analysis.crossval import CrossValidationReport, cross_validate
+from repro.analysis.dataflow import (
+    LivenessResult,
+    ReachingDefinitions,
+    UNINITIALIZED,
+    liveness,
+    reaching_definitions,
+)
+from repro.analysis.lint import (
+    Diagnostic,
+    LintResult,
+    RULES,
+    Severity,
+    lint_program,
+    lint_source,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BranchSite",
+    "ControlFlowGraph",
+    "CrossValidationReport",
+    "Diagnostic",
+    "Edge",
+    "EdgeKind",
+    "LintResult",
+    "LivenessResult",
+    "ReachingDefinitions",
+    "RULES",
+    "Severity",
+    "UNINITIALIZED",
+    "build_cfg",
+    "cross_validate",
+    "lint_program",
+    "lint_source",
+    "liveness",
+    "reaching_definitions",
+    "static_branch_summary",
+    "static_branch_table",
+]

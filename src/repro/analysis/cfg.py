@@ -1,0 +1,462 @@
+"""Control-flow graph over a decoded :class:`~repro.isa.program.Program`.
+
+Construction follows the classic leader algorithm: an instruction starts a
+basic block if it is the program entry, the target of a branch, or the
+instruction after a control transfer.  Edges carry a *kind* so downstream
+analyses can distinguish a conditional branch's taken edge from its
+fall-through, a subroutine call from its return continuation, and resolved
+indirect-jump candidates from architectural certainties.
+
+Register-indirect control flow (``jmp``/``jsr``/``rts``) has no encoded
+target, so the builder recovers a conservative candidate set:
+
+* *address-taken* text addresses — data words or materialized ``li``
+  constants that name a text address — become the candidate targets of
+  ``jmp``/``jsr`` (this resolves the computed-goto dispatch tables the gcc
+  analog uses);
+* ``rts`` gets a RETURN edge to the continuation of every call site, the
+  standard context-insensitive approximation.
+
+Dominators use the iterative Cooper-Harvey-Kennedy scheme over a reverse
+post-order; natural loops come from back edges (head dominates tail), and
+strongly-connected components from an iterative Tarjan — the SCCs drive the
+infinite-loop lint rule, which must also catch irreducible cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+class EdgeKind:
+    """Edge kinds (plain strings so diagnostics and JSON stay readable)."""
+
+    TAKEN = "taken"
+    FALLTHROUGH = "fallthrough"
+    CALL = "call"
+    CONTINUATION = "continuation"
+    RETURN = "return"
+    INDIRECT = "indirect"
+
+    ALL = (TAKEN, FALLTHROUGH, CALL, CONTINUATION, RETURN, INDIRECT)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One control-flow edge between basic blocks (by block start address)."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run.
+
+    Attributes:
+        start: byte address of the first instruction.
+        instructions: the decoded instruction run.
+        label: symbol naming ``start`` when one exists.
+    """
+
+    start: int
+    instructions: List[Instruction]
+    label: Optional[str] = None
+
+    @property
+    def end(self) -> int:
+        """First byte address past the block."""
+        return self.start + 4 * len(self.instructions)
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    def addresses(self) -> Iterator[int]:
+        for index in range(len(self.instructions)):
+            yield self.start + 4 * index
+
+
+_UNCONDITIONAL_TRANSFER = frozenset(
+    {Opcode.BR, Opcode.JMP, Opcode.RTS, Opcode.HALT}
+)
+_CALLS = frozenset({Opcode.BSR, Opcode.JSR})
+
+
+def _address_taken_targets(program: Program) -> FrozenSet[int]:
+    """Word-aligned text addresses a register-indirect jump could reach.
+
+    Candidates are (a) data words whose value lands in the text segment
+    (jump tables), and (b) text addresses materialized by ``li`` — either a
+    single ``addi rd, r0, imm`` or a ``lui``/``ori`` pair.  The set is only
+    consulted when the program actually contains ``jmp``/``jsr``.
+    """
+    lo, hi = program.text_base, program.text_end
+    candidates: Set[int] = set()
+    for _, word in program.data:
+        if lo <= word < hi and word % 4 == 0:
+            candidates.add(word)
+    previous: Optional[Instruction] = None
+    for instruction in program.instructions:
+        opcode = instruction.opcode
+        if opcode is Opcode.ADDI and instruction.rs1 == 0:
+            value = instruction.imm & 0xFFFFFFFF
+            if lo <= value < hi and value % 4 == 0:
+                candidates.add(value)
+        elif (
+            opcode is Opcode.ORI
+            and previous is not None
+            and previous.opcode is Opcode.LUI
+            and previous.rd == instruction.rd == instruction.rs1
+        ):
+            value = ((previous.imm & 0xFFFF) << 16) | (instruction.imm & 0xFFFF)
+            if lo <= value < hi and value % 4 == 0:
+                candidates.add(value)
+        previous = instruction
+    return frozenset(candidates)
+
+
+@dataclass
+class ControlFlowGraph:
+    """Basic blocks plus typed edges, with the standard graph analyses."""
+
+    program: Program
+    blocks: Dict[int, BasicBlock]
+    edges: List[Edge]
+    entry: int
+    indirect_targets: FrozenSet[int] = frozenset()
+    _succ: Dict[int, List[Edge]] = field(default_factory=dict, repr=False)
+    _pred: Dict[int, List[Edge]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for start in self.blocks:
+            self._succ[start] = []
+            self._pred[start] = []
+        for edge in self.edges:
+            self._succ[edge.src].append(edge)
+            self._pred[edge.dst].append(edge)
+
+    # ------------------------------------------------------------------
+    def successors(self, start: int) -> List[Edge]:
+        return self._succ[start]
+
+    def predecessors(self, start: int) -> List[Edge]:
+        return self._pred[start]
+
+    def block_at(self, address: int) -> BasicBlock:
+        """The block containing ``address`` (must be a valid text address)."""
+        starts = sorted(self.blocks)
+        lo, hi = 0, len(starts) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            block = self.blocks[starts[mid]]
+            if address < block.start:
+                hi = mid - 1
+            elif address >= block.end:
+                lo = mid + 1
+            else:
+                return block
+        raise KeyError(f"address {address:#x} is not in any basic block")
+
+    # ------------------------------------------------------------------
+    def reachable(self) -> Set[int]:
+        """Block starts reachable from the entry block."""
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            start = stack.pop()
+            if start in seen:
+                continue
+            seen.add(start)
+            for edge in self._succ[start]:
+                if edge.dst not in seen:
+                    stack.append(edge.dst)
+        return seen
+
+    def reverse_post_order(self) -> List[int]:
+        """Reachable blocks in reverse post-order (iterative DFS)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        stack: List[Tuple[int, Iterator[Edge]]] = []
+        seen.add(self.entry)
+        stack.append((self.entry, iter(self._succ[self.entry])))
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for edge in children:
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append((edge.dst, iter(self._succ[edge.dst])))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                order.append(node)
+        order.reverse()
+        return order
+
+    def dominators(self) -> Dict[int, Optional[int]]:
+        """Immediate dominator of every reachable block (entry maps to None).
+
+        Iterative Cooper-Harvey-Kennedy over reverse post-order.
+        """
+        rpo = self.reverse_post_order()
+        position = {start: index for index, start in enumerate(rpo)}
+        idom: Dict[int, Optional[int]] = {self.entry: self.entry}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while position[a] > position[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while position[b] > position[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in rpo:
+                if node == self.entry:
+                    continue
+                new_idom: Optional[int] = None
+                for edge in self._pred[node]:
+                    if edge.src in idom and edge.src in position:
+                        new_idom = (
+                            edge.src
+                            if new_idom is None
+                            else intersect(edge.src, new_idom)
+                        )
+                if new_idom is not None and idom.get(node) != new_idom:
+                    idom[node] = new_idom
+                    changed = True
+        result: Dict[int, Optional[int]] = dict(idom)
+        result[self.entry] = None
+        return result
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether block ``a`` dominates block ``b`` (both reachable)."""
+        idom = self.dominators()
+        node: Optional[int] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = idom.get(node)
+        return False
+
+    def natural_loops(self) -> List[Tuple[int, FrozenSet[int]]]:
+        """``(header, body)`` for every back edge (tail dominated by head).
+
+        Loops sharing a header are merged, matching the usual definition.
+        """
+        idom = self.dominators()
+
+        def dominates(a: int, b: int) -> bool:
+            node: Optional[int] = b
+            while node is not None:
+                if node == a:
+                    return True
+                node = idom.get(node)
+            return False
+
+        bodies: Dict[int, Set[int]] = {}
+        for edge in self.edges:
+            if edge.src not in idom or edge.dst not in idom:
+                continue  # unreachable
+            if not dominates(edge.dst, edge.src):
+                continue
+            header, tail = edge.dst, edge.src
+            body = bodies.setdefault(header, {header})
+            stack = [tail]
+            while stack:
+                node = stack.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                for pred in self._pred[node]:
+                    stack.append(pred.src)
+            bodies[header] = body
+        return sorted(
+            (header, frozenset(body)) for header, body in bodies.items()
+        )
+
+    def strongly_connected_components(self) -> List[FrozenSet[int]]:
+        """Tarjan SCCs over the *reachable* subgraph (iterative)."""
+        reachable = self.reachable()
+        index: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[int] = []
+        components: List[FrozenSet[int]] = []
+        counter = 0
+
+        for root in sorted(reachable):
+            if root in index:
+                continue
+            work: List[Tuple[int, Iterator[Edge]]] = [
+                (root, iter(self._succ[root]))
+            ]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for edge in children:
+                    child = edge.dst
+                    if child not in index:
+                        index[child] = lowlink[child] = counter
+                        counter += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(self._succ[child])))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: Set[int] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+        return components
+
+    def label_for(self, address: int) -> Optional[str]:
+        """Best symbolic name for a text address: the nearest preceding
+        label, with a ``+offset`` suffix when not exact."""
+        best_name: Optional[str] = None
+        best_address = -1
+        for name, value in self.program.symbols.items():
+            if value <= address and self.program.text_base <= value:
+                if value > best_address and value < self.program.text_end:
+                    best_name, best_address = name, value
+        if best_name is None:
+            return None
+        delta = address - best_address
+        return best_name if delta == 0 else f"{best_name}+{delta:#x}"
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Partition ``program`` into basic blocks and connect them."""
+    instructions = program.instructions
+    base = program.text_base
+    end = program.text_end
+    n = len(instructions)
+
+    has_indirect = any(
+        instruction.opcode in (Opcode.JMP, Opcode.JSR)
+        for instruction in instructions
+    )
+    indirect_targets = (
+        _address_taken_targets(program) if has_indirect else frozenset()
+    )
+    call_continuations = [
+        base + 4 * index + 4
+        for index, instruction in enumerate(instructions)
+        if instruction.opcode in _CALLS
+    ]
+    has_rts = any(
+        instruction.opcode is Opcode.RTS for instruction in instructions
+    )
+
+    # -- leaders -------------------------------------------------------
+    leaders: Set[int] = set()
+    if n:
+        leaders.add(program.entry if base <= program.entry < end else base)
+        leaders.add(base)
+    for index, instruction in enumerate(instructions):
+        pc = base + 4 * index
+        opcode = instruction.opcode
+        if not instruction.is_branch and opcode is not Opcode.HALT:
+            continue
+        if pc + 4 < end:
+            leaders.add(pc + 4)
+        if opcode in (Opcode.BR, Opcode.BSR) or instruction.branch_class.name == "CONDITIONAL":
+            target = pc + 4 + 4 * instruction.imm
+            if base <= target < end:
+                leaders.add(target)
+    if has_indirect:
+        leaders.update(indirect_targets)
+    if has_rts:
+        leaders.update(
+            address for address in call_continuations if address < end
+        )
+
+    # -- blocks --------------------------------------------------------
+    text_labels = {
+        value: name
+        for name, value in sorted(program.symbols.items(), reverse=True)
+        if base <= value < end
+    }
+    ordered = sorted(leaders)
+    blocks: Dict[int, BasicBlock] = {}
+    for position, start in enumerate(ordered):
+        stop = ordered[position + 1] if position + 1 < len(ordered) else end
+        lo_index = (start - base) >> 2
+        hi_index = (stop - base) >> 2
+        blocks[start] = BasicBlock(
+            start=start,
+            instructions=instructions[lo_index:hi_index],
+            label=text_labels.get(start),
+        )
+
+    # -- edges ---------------------------------------------------------
+    edges: List[Edge] = []
+    starts = set(blocks)
+
+    def add(src: int, dst: int, kind: str) -> None:
+        if dst in starts:
+            edges.append(Edge(src, dst, kind))
+
+    for start, block in blocks.items():
+        last = block.terminator
+        pc = block.end - 4
+        opcode = last.opcode
+        fall = block.end
+        if opcode is Opcode.HALT:
+            continue
+        if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                      Opcode.BLE, Opcode.BGT):
+            add(start, pc + 4 + 4 * last.imm, EdgeKind.TAKEN)
+            add(start, fall, EdgeKind.FALLTHROUGH)
+        elif opcode is Opcode.BR:
+            add(start, pc + 4 + 4 * last.imm, EdgeKind.TAKEN)
+        elif opcode is Opcode.BSR:
+            add(start, pc + 4 + 4 * last.imm, EdgeKind.CALL)
+            add(start, fall, EdgeKind.CONTINUATION)
+        elif opcode is Opcode.JMP:
+            for target in sorted(indirect_targets):
+                add(start, target, EdgeKind.INDIRECT)
+        elif opcode is Opcode.JSR:
+            for target in sorted(indirect_targets):
+                add(start, target, EdgeKind.CALL)
+            add(start, fall, EdgeKind.CONTINUATION)
+        elif opcode is Opcode.RTS:
+            for target in call_continuations:
+                add(start, target, EdgeKind.RETURN)
+        else:
+            add(start, fall, EdgeKind.FALLTHROUGH)
+
+    entry = program.entry if program.entry in blocks else (base if n else 0)
+    return ControlFlowGraph(
+        program=program,
+        blocks=blocks,
+        edges=edges,
+        entry=entry,
+        indirect_targets=indirect_targets,
+    )

@@ -1,0 +1,165 @@
+"""Static-vs-dynamic cross-validation.
+
+The payoff of the static analyzer: every fact it computes without executing
+an instruction must agree with what the CPU/trace pipeline observes when the
+program *is* executed.  Any divergence is a decoder, CFG or simulator bug
+caught by construction:
+
+* every dynamically observed branch PC must exist in the static table, with
+  the same class;
+* for sites with an encoded target (conditional, ``br``/``bsr``), the
+  dynamic taken-direction target and backward/forward direction must match
+  the encoding exactly;
+* the static per-site BTFN prediction must reproduce the dynamic
+  :class:`~repro.predictors.static_schemes.BTFNPredictor` decision for
+  every conditional record, and the accuracy computed analytically from the
+  static table must equal :func:`repro.sim.engine.simulate`'s score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.isa.program import Program
+from repro.predictors.static_schemes import BTFNPredictor
+from repro.sim.engine import simulate
+from repro.trace.record import BranchClass, BranchRecord
+
+from repro.analysis.branches import BranchSite, static_branch_table
+
+
+@dataclass
+class CrossValidationReport:
+    """Outcome of comparing a static branch table against a dynamic trace."""
+
+    name: str
+    static_total: int
+    dynamic_total: int
+    observed_static: int
+    mismatches: List[str] = field(default_factory=list)
+    static_btfn_correct: int = 0
+    simulated_btfn_correct: int = 0
+    btfn_total: int = 0
+    unexecuted_static_sites: int = 0
+    observed_per_class: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when static and dynamic views agree on every checked fact."""
+        return (
+            not self.mismatches
+            and self.static_btfn_correct == self.simulated_btfn_correct
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.name,
+            "static_total": self.static_total,
+            "dynamic_total": self.dynamic_total,
+            "observed_static": self.observed_static,
+            "unexecuted_static_sites": self.unexecuted_static_sites,
+            "btfn_total": self.btfn_total,
+            "static_btfn_correct": self.static_btfn_correct,
+            "simulated_btfn_correct": self.simulated_btfn_correct,
+            "observed_per_class": dict(self.observed_per_class),
+            "mismatches": list(self.mismatches),
+            "ok": self.ok,
+        }
+
+
+_CLASS_NAMES = {
+    BranchClass.CONDITIONAL: "conditional",
+    BranchClass.RETURN: "return",
+    BranchClass.IMM_UNCONDITIONAL: "imm_unconditional",
+    BranchClass.REG_UNCONDITIONAL: "reg_unconditional",
+}
+
+
+def cross_validate(
+    program: Program,
+    records: Iterable[BranchRecord],
+    name: str = "<program>",
+) -> CrossValidationReport:
+    """Check a dynamic branch trace of ``program`` against its static table.
+
+    ``records`` may be any iterable of
+    :class:`~repro.trace.record.BranchRecord`; it is materialised so the
+    BTFN simulation can make a second pass.
+    """
+    table = static_branch_table(program)
+    by_pc: Dict[int, BranchSite] = {site.pc: site for site in table}
+    trace = list(records)
+
+    mismatches: List[str] = []
+    seen: Set[int] = set()
+    per_class: Dict[str, int] = {}
+    static_btfn_correct = 0
+    btfn_total = 0
+
+    for record in trace:
+        site: Optional[BranchSite] = by_pc.get(record.pc)
+        if site is None:
+            if record.pc not in seen:
+                mismatches.append(
+                    f"{record.pc:#010x}: dynamic branch has no static site"
+                )
+            seen.add(record.pc)
+            continue
+        first_time = record.pc not in seen
+        seen.add(record.pc)
+        if first_time:
+            per_class[_CLASS_NAMES[site.cls]] = (
+                per_class.get(_CLASS_NAMES[site.cls], 0) + 1
+            )
+        if record.cls is not site.cls:
+            if first_time:
+                mismatches.append(
+                    f"{record.pc:#010x}: class mismatch "
+                    f"(static {site.cls.name}, dynamic {record.cls.name})"
+                )
+            continue
+        if site.target is not None:
+            if record.target != site.target:
+                mismatches.append(
+                    f"{record.pc:#010x}: target mismatch "
+                    f"(static {site.target:#x}, dynamic {record.target:#x})"
+                )
+            elif record.is_backward != site.is_backward:
+                mismatches.append(
+                    f"{record.pc:#010x}: direction mismatch "
+                    f"(static backward={site.is_backward}, "
+                    f"dynamic backward={record.is_backward})"
+                )
+        if record.cls is BranchClass.CONDITIONAL:
+            btfn_total += 1
+            prediction = site.btfn_taken
+            if prediction is None:
+                mismatches.append(
+                    f"{record.pc:#010x}: conditional site has no static "
+                    "BTFN prediction"
+                )
+                continue
+            if prediction == record.taken:
+                static_btfn_correct += 1
+
+    stats = simulate(BTFNPredictor(), trace)
+    if stats.conditional_total != btfn_total:
+        mismatches.append(
+            "conditional record count mismatch: static walk saw "
+            f"{btfn_total}, simulator saw {stats.conditional_total}"
+        )
+
+    observed_static = len(seen & set(by_pc))
+    return CrossValidationReport(
+        name=name,
+        static_total=len(table),
+        dynamic_total=len(seen),
+        observed_static=observed_static,
+        mismatches=mismatches,
+        static_btfn_correct=static_btfn_correct,
+        simulated_btfn_correct=stats.conditional_correct,
+        btfn_total=btfn_total,
+        unexecuted_static_sites=len(table) - observed_static,
+        observed_per_class=per_class,
+    )

@@ -1,0 +1,221 @@
+"""Dataflow analyses over the control-flow graph.
+
+Two classic bit-vector analyses, specialised to the register file:
+
+* **Reaching definitions** (forward, may): which instruction last wrote
+  each register on *some* path.  Every register is seeded with a virtual
+  :data:`UNINITIALIZED` definition at the program entry, so "every
+  definition reaching this read is the virtual one" means the read observes
+  a register no instruction has written — the R003 lint rule.
+* **Liveness** (backward, may): which registers may still be read before
+  being overwritten.  A register write whose value is never live is a dead
+  store — the R007 lint rule.
+
+Both reuse :func:`repro.isa.instructions.registers_read` /
+:func:`~repro.isa.instructions.registers_written`, so the analyses track
+the interpreter's semantics (stores read ``rd``, calls define the link
+register, ``rts`` reads it) without restating them.  ``r0`` is hardwired
+zero and excluded throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.isa.instructions import Opcode, registers_read, registers_written
+from repro.isa.registers import NUM_REGISTERS
+
+from repro.analysis.cfg import ControlFlowGraph
+
+#: Virtual definition address meaning "never written since program entry".
+UNINITIALIZED = -1
+
+#: A definition: ``(register, address)`` where ``address`` is the byte
+#: address of the writing instruction, or :data:`UNINITIALIZED`.
+Definition = Tuple[int, int]
+
+
+def _analysis_order(cfg: ControlFlowGraph) -> List[int]:
+    """Reverse post-order of the reachable blocks, then the rest."""
+    order = cfg.reverse_post_order()
+    seen = set(order)
+    order.extend(start for start in sorted(cfg.blocks) if start not in seen)
+    return order
+
+
+@dataclass
+class ReachingDefinitions:
+    """Fixpoint solution: definitions reaching each block boundary."""
+
+    cfg: ControlFlowGraph
+    block_in: Dict[int, FrozenSet[Definition]]
+    block_out: Dict[int, FrozenSet[Definition]]
+
+    def at(self, address: int) -> FrozenSet[Definition]:
+        """Definitions reaching ``address`` (before it executes)."""
+        block = self.cfg.block_at(address)
+        live: Set[Definition] = set(self.block_in[block.start])
+        for pc, instruction in zip(block.addresses(), block.instructions):
+            if pc == address:
+                return frozenset(live)
+            for register in registers_written(instruction):
+                live = {d for d in live if d[0] != register}
+                live.add((register, pc))
+        raise KeyError(f"address {address:#x} is not in block {block.start:#x}")
+
+    def definitely_uninitialized_reads(self) -> List[Tuple[int, int]]:
+        """``(address, register)`` pairs where every reaching definition of a
+        read register is the virtual entry definition.
+
+        Reads with *no* reaching definition (unreachable code) are skipped —
+        that is R001's territory.
+        """
+        findings: List[Tuple[int, int]] = []
+        for start in sorted(self.cfg.blocks):
+            block = self.cfg.blocks[start]
+            live: Set[Definition] = set(self.block_in[start])
+            for pc, instruction in zip(block.addresses(), block.instructions):
+                for register in registers_read(instruction):
+                    if register == 0:
+                        continue
+                    reaching = [d for d in live if d[0] == register]
+                    if reaching and all(
+                        d[1] == UNINITIALIZED for d in reaching
+                    ):
+                        findings.append((pc, register))
+                for register in registers_written(instruction):
+                    live = {d for d in live if d[0] != register}
+                    live.add((register, pc))
+        return findings
+
+
+def reaching_definitions(cfg: ControlFlowGraph) -> ReachingDefinitions:
+    """Solve forward may reaching-definitions over ``cfg``."""
+    gen: Dict[int, FrozenSet[Definition]] = {}
+    kill_regs: Dict[int, FrozenSet[int]] = {}
+    for start, block in cfg.blocks.items():
+        last_def: Dict[int, int] = {}
+        for pc, instruction in zip(block.addresses(), block.instructions):
+            for register in registers_written(instruction):
+                last_def[register] = pc
+        gen[start] = frozenset(last_def.items())
+        kill_regs[start] = frozenset(last_def)
+
+    entry_defs = frozenset(
+        (register, UNINITIALIZED) for register in range(1, NUM_REGISTERS)
+    )
+    block_in: Dict[int, FrozenSet[Definition]] = {
+        start: frozenset() for start in cfg.blocks
+    }
+    block_out: Dict[int, FrozenSet[Definition]] = {
+        start: frozenset() for start in cfg.blocks
+    }
+    order = _analysis_order(cfg)
+    changed = True
+    while changed:
+        changed = False
+        for start in order:
+            merged: Set[Definition] = set()
+            if start == cfg.entry:
+                merged.update(entry_defs)
+            for edge in cfg.predecessors(start):
+                merged.update(block_out[edge.src])
+            new_in = frozenset(merged)
+            killed = kill_regs[start]
+            new_out = frozenset(
+                d for d in new_in if d[0] not in killed
+            ) | gen[start]
+            if new_in != block_in[start] or new_out != block_out[start]:
+                block_in[start] = new_in
+                block_out[start] = new_out
+                changed = True
+    return ReachingDefinitions(cfg=cfg, block_in=block_in, block_out=block_out)
+
+
+@dataclass
+class LivenessResult:
+    """Fixpoint solution: registers live at each block boundary."""
+
+    cfg: ControlFlowGraph
+    block_in: Dict[int, FrozenSet[int]]
+    block_out: Dict[int, FrozenSet[int]]
+
+    def live_after(self, address: int) -> FrozenSet[int]:
+        """Registers live immediately *after* the instruction at ``address``."""
+        block = self.cfg.block_at(address)
+        live: Set[int] = set(self.block_out[block.start])
+        pcs = list(block.addresses())
+        for pc, instruction in zip(reversed(pcs), reversed(block.instructions)):
+            if pc == address:
+                return frozenset(live)
+            live.difference_update(registers_written(instruction))
+            live.update(r for r in registers_read(instruction) if r)
+        raise KeyError(f"address {address:#x} is not in block {block.start:#x}")
+
+    def dead_stores(self) -> List[Tuple[int, int]]:
+        """``(address, register)`` pairs where a written register is not live
+        afterwards.
+
+        Calls are exempt (the link register is an ABI effect, not a value
+        computation), as is any block that can leave the graph through an
+        indirect edge — the candidate-target sets are approximate, so a
+        value could flow somewhere liveness cannot see.
+        """
+        findings: List[Tuple[int, int]] = []
+        for start in sorted(self.cfg.blocks):
+            block = self.cfg.blocks[start]
+            live: Set[int] = set(self.block_out[start])
+            pcs = list(block.addresses())
+            for pc, instruction in zip(
+                reversed(pcs), reversed(block.instructions)
+            ):
+                written = registers_written(instruction)
+                if written and instruction.opcode not in (Opcode.BSR, Opcode.JSR):
+                    for register in written:
+                        if register not in live:
+                            findings.append((pc, register))
+                live.difference_update(written)
+                live.update(r for r in registers_read(instruction) if r)
+        findings.sort()
+        return findings
+
+
+def liveness(cfg: ControlFlowGraph) -> LivenessResult:
+    """Solve backward may liveness over ``cfg``."""
+    use: Dict[int, FrozenSet[int]] = {}
+    defs: Dict[int, FrozenSet[int]] = {}
+    for start, block in cfg.blocks.items():
+        block_use: Set[int] = set()
+        block_def: Set[int] = set()
+        for instruction in block.instructions:
+            block_use.update(
+                r
+                for r in registers_read(instruction)
+                if r and r not in block_def
+            )
+            block_def.update(registers_written(instruction))
+        use[start] = frozenset(block_use)
+        defs[start] = frozenset(block_def)
+
+    block_in: Dict[int, FrozenSet[int]] = {
+        start: frozenset() for start in cfg.blocks
+    }
+    block_out: Dict[int, FrozenSet[int]] = {
+        start: frozenset() for start in cfg.blocks
+    }
+    order = list(reversed(_analysis_order(cfg)))
+    changed = True
+    while changed:
+        changed = False
+        for start in order:
+            merged: Set[int] = set()
+            for edge in cfg.successors(start):
+                merged.update(block_in[edge.dst])
+            new_out = frozenset(merged)
+            new_in = use[start] | (new_out - defs[start])
+            if new_out != block_out[start] or new_in != block_in[start]:
+                block_out[start] = new_out
+                block_in[start] = new_in
+                changed = True
+    return LivenessResult(cfg=cfg, block_in=block_in, block_out=block_out)

@@ -12,12 +12,16 @@ Subcommands:
 * ``repro asm <file.s> [--run] [--trace FILE]`` — assemble (and optionally
   execute) an assembly source file on the bundled ISA.
 * ``repro disasm <workload>`` — print a workload program's listing.
+* ``repro lint [<workload>|<file.s> ...]`` — static analysis (CFG, dataflow,
+  rules R001..R008) over workload programs or assembly files; optional
+  static-vs-dynamic cross-validation.  See ``docs/analysis.md``.
 * ``repro list`` — list experiments, workloads and example spec strings.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -131,7 +135,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         histogram = conditional_pc_histogram(trace.records)
         total = sum(histogram.values())
         print(f"\nhottest {args.hot} conditional branch sites:")
-        for pc in sorted(histogram, key=histogram.get, reverse=True)[: args.hot]:
+        for pc in sorted(histogram, key=histogram.__getitem__, reverse=True)[: args.hot]:
             share = histogram[pc] / total
             print(f"  {pc:#010x}  {histogram[pc]:>8d} executions  ({share:6.2%})")
     if args.output:
@@ -173,6 +177,112 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_targets(args: argparse.Namespace) -> "List[tuple[str, str, object]]":
+    """Resolve lint targets to ``(display_name, kind, payload)`` triples.
+
+    ``kind`` is ``"workload"`` (payload: ``(workload, dataset)``) or
+    ``"file"`` (payload: source text).  No targets means every workload.
+    """
+    from repro.errors import ReproError as _ReproError
+
+    targets = args.targets or workload_names()
+    resolved: "List[tuple[str, str, object]]" = []
+    for target in targets:
+        if target.endswith(".s") or "/" in target:
+            try:
+                with open(target) as handle:
+                    resolved.append((target, "file", handle.read()))
+            except OSError as exc:
+                raise _ReproError(f"cannot read {target}: {exc}") from exc
+            continue
+        workload = get_workload(target)
+        roles = sorted(workload.datasets) if args.dataset == "both" else [args.dataset]
+        for role in roles:
+            if role not in workload.datasets:
+                # Listing every workload tolerates absent roles (e.g. most
+                # have no train set); naming one explicitly does not.
+                if args.targets:
+                    raise _ReproError(
+                        f"workload '{workload.name}' has no '{role}' dataset"
+                        f" (available: {sorted(workload.datasets)})"
+                    )
+                continue
+            resolved.append(
+                (f"{workload.name}:{role}", "workload", (workload, workload.dataset(role)))
+            )
+    return resolved
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import cross_validate, lint_program, lint_source
+
+    reports = []
+    worst = 0
+    for display, kind, payload in _lint_targets(args):
+        if kind == "file":
+            result = lint_source(payload, name=display)
+            crossval = None
+        else:
+            workload, dataset = payload
+            program = assemble(workload.build_source(dataset))
+            result = lint_program(program, name=display)
+            crossval = None
+            if args.cross_validate:
+                trace = workload.generate(dataset, args.scale)
+                crossval = cross_validate(program, trace.records, name=display)
+        entry = result.as_dict()
+        if crossval is not None:
+            entry["cross_validation"] = crossval.as_dict()
+        reports.append(entry)
+
+        failing = bool(result.errors) or (args.strict and result.diagnostics)
+        if crossval is not None and not crossval.ok:
+            failing = True
+        worst = max(worst, 1 if failing else 0)
+
+        if not args.json:
+            if result.clean:
+                status = f"clean ({len(result.cfg.blocks)} blocks, {len(result.cfg.edges)} edges)"
+            else:
+                status = f"{len(result.errors)} error(s), {len(result.warnings)} warning(s)"
+            print(f"{display}: {status}")
+            for diagnostic in result.diagnostics:
+                print(f"  {diagnostic.render()}")
+            if crossval is not None:
+                verdict = "agrees" if crossval.ok else "DISAGREES"
+                print(
+                    f"  cross-validation: {verdict} "
+                    f"({crossval.observed_static}/{crossval.static_total} static sites "
+                    f"observed; BTFN {crossval.static_btfn_correct}"
+                    f"/{crossval.btfn_total} analytic vs "
+                    f"{crossval.simulated_btfn_correct} simulated)"
+                )
+                for mismatch in crossval.mismatches:
+                    print(f"    {mismatch}")
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "programs": reports,
+                    "summary": {
+                        "programs": len(reports),
+                        "errors": sum(r["errors"] for r in reports),
+                        "warnings": sum(r["warnings"] for r in reports),
+                        "exit": worst,
+                    },
+                },
+                indent=2,
+            )
+        )
+    elif len(reports) > 1:
+        errors = sum(r["errors"] for r in reports)
+        warnings = sum(r["warnings"] for r in reports)
+        print(f"{len(reports)} program(s): {errors} error(s), {warnings} warning(s)")
+    return worst
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     del args
     print("Experiments:")
@@ -193,6 +303,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "gshare(12)",
     ):
         print(f"  {example}")
+    print(
+        "\nStatic analysis: repro lint [workload|file.s ...]"
+        " (rules R001..R008; see docs/analysis.md)"
+    )
     return 0
 
 
@@ -274,6 +388,34 @@ def build_parser() -> argparse.ArgumentParser:
     disasm_parser.add_argument("workload", choices=workload_names())
     disasm_parser.add_argument("--dataset", default="test", choices=("test", "train"))
     disasm_parser.set_defaults(func=_cmd_disasm)
+
+    lint_parser = sub.add_parser(
+        "lint", help="statically analyze workload programs or assembly files"
+    )
+    lint_parser.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="workload names and/or assembly file paths (default: all workloads)",
+    )
+    lint_parser.add_argument(
+        "--dataset", default="both", choices=("both", "test", "train"),
+        help="which data set(s) of each workload to lint",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit the JSON report (schema in docs/analysis.md)"
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    lint_parser.add_argument(
+        "--cross-validate", action="store_true",
+        help="also execute each workload and check the static tables against the trace",
+    )
+    lint_parser.add_argument(
+        "--scale", type=int, default=20_000,
+        help="conditional branches to simulate per program for --cross-validate",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
 
     list_parser = sub.add_parser("list", help="list experiments and workloads")
     list_parser.set_defaults(func=_cmd_list)

@@ -20,7 +20,6 @@ from repro.workloads.base import (
     INTEGER,
     TraceCache,
     get_workload,
-    workload_names,
 )
 
 SPECS = [

@@ -10,7 +10,7 @@ substrate is caught by the same code that regenerates the figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.sim.results import SweepResult
 

@@ -43,7 +43,6 @@ from repro.isa.instructions import (
     IMM16_MAX,
     IMM16_MIN,
     Instruction,
-    J_FORMAT,
     OFFSET16_MAX,
     OFFSET16_MIN,
     OFFSET26_MAX,

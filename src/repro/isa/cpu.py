@@ -14,7 +14,7 @@ instruction semantics are each a line or two.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ExecutionError

@@ -17,7 +17,7 @@ unconditional; ``jmp``/``jsr`` are unconditional on a register.
 from __future__ import annotations
 
 import enum
-from typing import NamedTuple, Optional
+from typing import NamedTuple, Tuple
 
 from repro.trace.record import BranchClass
 
@@ -160,3 +160,61 @@ class Instruction(NamedTuple):
 IMM16_MIN, IMM16_MAX = -(1 << 15), (1 << 15) - 1
 OFFSET16_MIN, OFFSET16_MAX = -(1 << 15), (1 << 15) - 1
 OFFSET26_MIN, OFFSET26_MAX = -(1 << 25), (1 << 25) - 1
+
+
+# ----------------------------------------------------------------------
+# Operand use/def metadata.
+#
+# The static analyses (repro.analysis) need to know which registers an
+# instruction reads and writes without re-deriving the interpreter's
+# semantics.  The tables mirror cpu.CPU.run exactly: stores read their
+# "destination" field as the value source, calls define the link register,
+# and rts reads it.
+# ----------------------------------------------------------------------
+_LINK = 1  # r1, the bsr/jsr link register (see isa.registers)
+
+#: I-format opcodes whose ``rd`` is a *source* (the stored value).
+STORE_OPCODES = frozenset({Opcode.ST, Opcode.STB})
+
+#: opcodes that write no register at all.
+_NO_WRITE = frozenset(
+    {Opcode.NOP, Opcode.HALT, Opcode.BR, Opcode.JMP, Opcode.RTS}
+) | B_FORMAT | STORE_OPCODES
+
+
+def registers_read(instruction: Instruction) -> Tuple[int, ...]:
+    """Register numbers this instruction reads, in operand order.
+
+    ``r0`` is included when an operand field names it (callers that treat the
+    hardwired zero as always-initialized should filter it out themselves).
+    """
+    opcode = instruction.opcode
+    if opcode in R_FORMAT:
+        return (instruction.rs1, instruction.rs2)
+    if opcode in STORE_OPCODES:
+        return (instruction.rd, instruction.rs1)  # value, base address
+    if opcode is Opcode.LUI:
+        return ()
+    if opcode in I_FORMAT:
+        return (instruction.rs1,)
+    if opcode in B_FORMAT:
+        return (instruction.rs1, instruction.rs2)
+    if opcode in (Opcode.JMP, Opcode.JSR):
+        return (instruction.rs1,)
+    if opcode is Opcode.RTS:
+        return (_LINK,)
+    return ()  # nop, halt, br, bsr
+
+
+def registers_written(instruction: Instruction) -> Tuple[int, ...]:
+    """Register numbers this instruction writes.
+
+    Writes to ``r0`` are architecturally discarded, so ``r0`` never appears
+    in the result even when an instruction names it as destination.
+    """
+    opcode = instruction.opcode
+    if opcode in (Opcode.BSR, Opcode.JSR):
+        return (_LINK,)
+    if opcode in _NO_WRITE:
+        return ()
+    return (instruction.rd,) if instruction.rd else ()

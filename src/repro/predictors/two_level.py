@@ -24,7 +24,6 @@ from collections import deque
 from typing import Deque, Tuple
 
 from repro.errors import ConfigError
-from repro.predictors.automata import Automaton
 from repro.predictors.base import ConditionalBranchPredictor
 from repro.predictors.hrt import HistoryRegisterTable
 from repro.predictors.pattern_table import PatternTable

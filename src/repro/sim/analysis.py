@@ -122,6 +122,30 @@ def windowed_accuracy(
     return accuracies
 
 
+def per_site_accuracy(
+    predictor: ConditionalBranchPredictor,
+    records: Iterable[BranchRecord],
+) -> Dict[int, "tuple[int, int]"]:
+    """Per-static-site ``(correct, total)`` for a predictor over a trace.
+
+    The static analyzer's cross-validation uses this to compare a scheme's
+    behaviour site by site (e.g. static BTFN predictions against the dynamic
+    :class:`~repro.predictors.static_schemes.BTFNPredictor`); it is also
+    handy for finding which sites a scheme loses accuracy on.
+    """
+    correct: Dict[int, int] = {}
+    total: Dict[int, int] = {}
+    for record in records:
+        if record.cls is not BranchClass.CONDITIONAL:
+            continue
+        prediction = predictor.predict(record.pc, record.target)
+        predictor.update(record.pc, record.target, record.taken)
+        total[record.pc] = total.get(record.pc, 0) + 1
+        if prediction == record.taken:
+            correct[record.pc] = correct.get(record.pc, 0) + 1
+    return {pc: (correct.get(pc, 0), total[pc]) for pc in total}
+
+
 def convergence_point(
     accuracies: Sequence[float], tolerance: float = 0.01
 ) -> Optional[int]:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from array import array
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import IO, Iterable, Iterator, List, Tuple, Union
 
 from repro.errors import TraceFormatError
 from repro.trace.record import BranchClass, BranchRecord

@@ -11,7 +11,7 @@ non-branch instructions only matter for the instruction-mix statistics
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import NamedTuple
 
 

@@ -12,7 +12,7 @@ All generators are deterministic given their ``seed``.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.trace.record import BranchClass, BranchRecord

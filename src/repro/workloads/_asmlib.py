@@ -11,7 +11,7 @@ orderings).
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 
 def words_directive(label: str, values: Sequence[int], per_line: int = 12) -> str:
@@ -108,6 +108,7 @@ def aux_phase(
     call_period_log2: int = 0,
     groups: int = 8,
     counter_reg: str = "r28",
+    seed_state: bool = True,
 ) -> "tuple[str, str, str]":
     """Generate a cold-branch auxiliary phase.
 
@@ -132,6 +133,13 @@ def aux_phase(
     * ``call_text`` goes at a low-frequency point of the kernel; it invokes
       the phase every ``2 ** call_period_log2`` visits (``r29``/``r17`` are
       scratch).  The call site must not hold a live return address in ``r1``.
+
+    When a program stacks two phase instances (cold + warm), only the last
+    one's ``li r16`` survives — pass ``seed_state=False`` on the earlier
+    instances so their init omits the overwritten (dead) seed store.  The
+    site branch outcomes depend only on ``r16 mod 16`` (every site mask is
+    at most 15) and every update of ``r16`` is additive, so which instance
+    seeds the state shifts outcomes but never changes their structure.
     * ``subroutine_text`` holds the group bodies: generated branch sites
       whose outcomes follow short deterministic cycles of the evolving state
       register — partially learnable, like real cold branches.
@@ -150,17 +158,19 @@ def aux_phase(
             lines.append(f"    addi r16, r16, {increment}")
             lines.append(f"    andi r17, r16, {mask}")
             lines.append(f"    {sense} r17, {label_prefix}_s{site}")
-            lines.append("    xor  r17, r17, r16")
+            # Not-taken path: nudge the state by a multiple of 16, which no
+            # site mask (all <= 15) can observe — outcome sequences are
+            # untouched, but fall-through paths do real, live work.
+            lines.append("    addi r16, r16, 16")
             lines.append(f"{label_prefix}_s{site}:")
         lines.append("    rts")
     subroutine = "\n".join(lines)
 
-    init_text = "\n".join(
-        [
-            f"    li   r16, {seed & 0x3FFF}",
-            f"    li   {counter_reg}, 0",
-        ]
-    )
+    init_lines = []
+    if seed_state:
+        init_lines.append(f"    li   r16, {seed & 0x3FFF}")
+    init_lines.append(f"    li   {counter_reg}, 0")
+    init_text = "\n".join(init_lines)
 
     call_lines = [f"    addi {counter_reg}, {counter_reg}, 1"]
     skip = f"{label_prefix}_skip"
@@ -170,11 +180,13 @@ def aux_phase(
             f"    bnez r29, {skip}",
         ]
     # Select the group from the counter bits above the period bits with a
-    # compare ladder (cheap, and itself a set of perfectly periodic branches).
-    call_lines += [
-        f"    shri r29, {counter_reg}, {call_period_log2}",
-        f"    andi r29, r29, {groups - 1}",
-    ]
+    # compare ladder (cheap, and itself a set of perfectly periodic
+    # branches).  A single group needs no selector at all.
+    if groups > 1:
+        call_lines += [
+            f"    shri r29, {counter_reg}, {call_period_log2}",
+            f"    andi r29, r29, {groups - 1}",
+        ]
     for group in range(groups - 1):
         call_lines += [
             f"    li   r17, {group}",
@@ -188,6 +200,38 @@ def aux_phase(
         f"{skip}:",
     ]
     return init_text, "\n".join(call_lines), subroutine
+
+
+def bounded_driver(
+    reg: str,
+    label_prefix: str = "drv",
+    bound: int = 1 << 30,
+) -> "tuple[str, str, str]":
+    """A termination bound for a workload's top-level driver loop.
+
+    The analogs are sized externally (the tracer stops at a branch budget),
+    but a loop with *no* exit is statically an infinite loop — the R006 lint
+    rule, and a real hazard if a budget is ever mis-wired.  This gives the
+    driver an architectural exit that never fires at realistic budgets
+    (``bound`` iterations is orders of magnitude past the paper's 20M
+    conditional branches), while staying almost invisible dynamically: the
+    check branch is forward and never taken, so every predictor — including
+    static BTFN — predicts it perfectly.
+
+    Returns ``(init_text, check_text, stop_text)``: ``init_text`` goes at
+    program start, ``check_text`` once inside the driver loop, and
+    ``stop_text`` (the ``halt`` landing pad) at the end of the text section,
+    which also satisfies the R002 no-fallthrough-off-text rule.
+    """
+    init_text = f"    li   {reg}, {bound}"
+    check_text = "\n".join(
+        [
+            f"    addi {reg}, {reg}, -1",
+            f"    beqz {reg}, {label_prefix}_stop",
+        ]
+    )
+    stop_text = "\n".join([f"{label_prefix}_stop:", "    halt"])
+    return init_text, check_text, stop_text
 
 
 def join_sections(*sections: str) -> str:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.workloads._asmlib import (
     aux_phase,
+    bounded_driver,
     join_sections,
     lcg_step,
     random_words,
@@ -32,7 +33,7 @@ class Doduc(Workload):
 
     name = "doduc"
     category = FLOATING_POINT
-    version = 1
+    version = 2
     datasets = {
         # The training input ("tiny doducin") is the same reactor model at a
         # smaller scale: identical structure, mildly perturbed parameter
@@ -58,12 +59,14 @@ class Doduc(Workload):
             for offset, value in enumerate(replacement):
                 table[(offset * 3) % table_len] = value
         # Cold-branch tail (Table 1 lists 1149 static conditional branches).
-        aux_init, aux_call, aux_sub = aux_phase(984, seed=1149, label_prefix="ddaux", call_period_log2=5, groups=16)
+        aux_init, aux_call, aux_sub = aux_phase(984, seed=1149, label_prefix="ddaux", call_period_log2=5, groups=16, seed_state=False)
         warm_init, warm_call, warm_sub = aux_phase(96, seed=1150, label_prefix="ddwarm", call_period_log2=3, groups=4, counter_reg="r25")
+        drv_init, drv_check, drv_stop = bounded_driver("r15", label_prefix="dddrv")
         text = f"""
 _start:
 {aux_init}
 {warm_init}
+{drv_init}
     li   r20, {seed}        ; LCG state
     li   r21, params
     li   r22, {threshold}
@@ -71,6 +74,7 @@ _start:
     li   r19, 0             ; accumulated "energy"
 
 step:
+{drv_check}
 {aux_call}
 {warm_call}
     ; ---- physics kernel: fixed-trip inner loop over nodes --------------
@@ -126,6 +130,8 @@ damp:
 {aux_sub}
 
 {warm_sub}
+
+{drv_stop}
 """
         data = join_sections(".data", words_directive("params", table))
         return join_sections(text, data)

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import random
 
-from repro.workloads._asmlib import aux_phase, join_sections, lcg_step, words_directive
+from repro.workloads._asmlib import (
+    aux_phase,
+    bounded_driver,
+    join_sections,
+    lcg_step,
+    words_directive,
+)
 from repro.workloads.base import DataSet, INTEGER, Workload, register_workload
 
 
@@ -50,7 +56,7 @@ class Eqntott(Workload):
 
     name = "eqntott"
     category = INTEGER
-    version = 1
+    version = 2
     datasets = {
         # Table 3: testing set int_pri_3.eqn; no applicable training set.
         "test": DataSet("int_pri_3", {"seed": 8111, "pairs": 13, "width": 8, "period": 7, "noise": 330}),
@@ -64,12 +70,14 @@ class Eqntott(Workload):
         noise = dataset.param("noise", 1300)
         vec_a, vec_b = _vector_pool(seed, pairs, width, period)
         # Cold-branch tail (Table 1 lists 277 static conditional branches).
-        aux_init, aux_call, aux_sub = aux_phase(159, seed=277, label_prefix="eqaux", call_period_log2=2)
+        aux_init, aux_call, aux_sub = aux_phase(159, seed=277, label_prefix="eqaux", call_period_log2=2, seed_state=False)
         warm_init, warm_call, warm_sub = aux_phase(96, seed=278, label_prefix="eqwarm", call_period_log2=5, groups=4, counter_reg="r25")
+        drv_init, drv_check, drv_stop = bounded_driver("r15", label_prefix="eqdrv")
         text = f"""
 _start:
 {aux_init}
 {warm_init}
+{drv_init}
     li   r20, terms_a
     li   r21, terms_b
     li   r22, {seed}        ; LCG state for the noise branch
@@ -123,12 +131,15 @@ noisy:
 
 do_wrap:
     li   r23, 0
+{drv_check}
 {aux_call}
     br   no_wrap
 
 {aux_sub}
 
 {warm_sub}
+
+{drv_stop}
 """
         data = join_sections(
             ".data",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro.workloads._asmlib import aux_phase, join_sections, words_directive
+from repro.workloads._asmlib import aux_phase, bounded_driver, join_sections, words_directive
 from repro.workloads.base import DataSet, INTEGER, Workload, register_workload
 
 
@@ -45,7 +45,7 @@ class Espresso(Workload):
 
     name = "espresso"
     category = INTEGER
-    version = 1
+    version = 2
     datasets = {
         # Both inputs are PLA covers of the same family: the training cover
         # ("cps") shares most of its cubes with the testing cover ("bca")
@@ -73,18 +73,21 @@ class Espresso(Workload):
                 masks[position] = alt_masks[offset]
                 cares[position] = alt_cares[offset]
         # Cold-branch tail (Table 1 lists 556 static conditional branches).
-        aux_init, aux_call, aux_sub = aux_phase(429, seed=556, label_prefix="esaux", call_period_log2=4, groups=16)
+        aux_init, aux_call, aux_sub = aux_phase(429, seed=556, label_prefix="esaux", call_period_log2=4, groups=16, seed_state=False)
         warm_init, warm_call, warm_sub = aux_phase(96, seed=557, label_prefix="eswarm", call_period_log2=3, groups=4, counter_reg="r25")
+        drv_init, drv_check, drv_stop = bounded_driver("r18", label_prefix="esdrv")
         text = f"""
 _start:
 {aux_init}
 {warm_init}
+{drv_init}
     li   r20, masks
     li   r21, cares
     li   r22, {probe_init}  ; probe cube (rotates each full scan)
     li   r19, 0             ; cover statistics accumulator
 
 scan:
+{drv_check}
 {aux_call}
 {warm_call}
     li   r2, 0              ; cube index
@@ -137,6 +140,8 @@ next_cube:
 {aux_sub}
 
 {warm_sub}
+
+{drv_stop}
 """
         data = join_sections(
             ".data",

@@ -15,7 +15,7 @@ per accepted quadruplet.
 
 from __future__ import annotations
 
-from repro.workloads._asmlib import aux_phase, join_sections
+from repro.workloads._asmlib import aux_phase, bounded_driver, join_sections
 from repro.workloads.base import DataSet, FLOATING_POINT, Workload, register_workload
 
 
@@ -38,7 +38,7 @@ class Fpppp(Workload):
 
     name = "fpppp"
     category = FLOATING_POINT
-    version = 1
+    version = 2
     datasets = {
         # Table 3: no alternative data set applicable (testing set natoms).
         "test": DataSet("natoms", {"shells": 8, "terms": 24}),
@@ -48,12 +48,14 @@ class Fpppp(Workload):
         shells = dataset.param("shells", 8)
         terms = dataset.param("terms", 24)
         # Cold-branch tail (Table 1 lists 653 static conditional branches).
-        aux_init, aux_call, aux_sub = aux_phase(534, seed=653, label_prefix="fpaux", call_period_log2=4, groups=16)
+        aux_init, aux_call, aux_sub = aux_phase(534, seed=653, label_prefix="fpaux", call_period_log2=4, groups=16, seed_state=False)
         warm_init, warm_call, warm_sub = aux_phase(96, seed=654, label_prefix="fpwarm", call_period_log2=1, groups=4, counter_reg="r25")
+        drv_init, drv_check, drv_stop = bounded_driver("r15", label_prefix="fpdrv")
         text = f"""
 _start:
 {aux_init}
 {warm_init}
+{drv_init}
     li   r20, {shells}
     li   r4, 1
     li   r5, 2
@@ -62,6 +64,7 @@ _start:
     li   r9, 0
 
 pass:
+{drv_check}
     li   r2, 0              ; shell i
 si:
     li   r3, 0              ; shell j
@@ -100,5 +103,7 @@ integral:
 {aux_sub}
 
 {warm_sub}
+
+{drv_stop}
 """
         return join_sections(text)

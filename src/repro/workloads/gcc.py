@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.workloads._asmlib import aux_phase, join_sections, words_directive
+from repro.workloads._asmlib import aux_phase, bounded_driver, join_sections, words_directive
 from repro.workloads.base import DataSet, INTEGER, Workload, register_workload
 
 #: handler structure is part of the *program*, not the data set, so it uses a
@@ -173,7 +173,7 @@ class Gcc(Workload):
 
     name = "gcc"
     category = INTEGER
-    version = 1
+    version = 2
     datasets = {
         "test": DataSet("dbxout.i", {"stream_seed": 60601, "stream_len": 420}),
         "train": DataSet("cexp.i", {"stream_seed": 7333, "stream_len": 360}),
@@ -196,14 +196,16 @@ class Gcc(Workload):
         )
         helpers = _helpers(self.num_helpers, rng)
         # Cold-branch tail on top of the handler population (Table 1: 6,922).
-        aux_init, aux_call, aux_sub = aux_phase(1304, seed=6922, label_prefix="gcaux", call_period_log2=6, groups=64)
+        aux_init, aux_call, aux_sub = aux_phase(1304, seed=6922, label_prefix="gcaux", call_period_log2=6, groups=64, seed_state=False)
         # Warm, medium-frequency population: resident under a tagged LRU
         # table, collision-prone in a tagless hash (the Figure 6 lever).
         warm_init, warm_call, warm_sub = aux_phase(96, seed=6923, label_prefix="gcwarm", call_period_log2=6, groups=4, counter_reg="r25")
+        drv_init, drv_check, drv_stop = bounded_driver("r15", label_prefix="gcdrv")
         text = f"""
 _start:
 {aux_init}
 {warm_init}
+{drv_init}
     li   r20, stream
     li   r21, attrs
     li   r22, handler_table
@@ -229,6 +231,7 @@ resume:
     jmp  r8                 ; computed goto into the handler
 do_wrap:
     li   r24, 0
+{drv_check}
     br   resume
 """
         # handler_table holds label references, which words_directive does
@@ -244,4 +247,4 @@ do_wrap:
             words_directive("stream", opcodes),
             words_directive("attrs", attrs),
         )
-        return join_sections(text, handlers, helpers, aux_sub, warm_sub, data)
+        return join_sections(text, handlers, helpers, aux_sub, warm_sub, drv_stop, data)

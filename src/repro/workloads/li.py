@@ -17,7 +17,7 @@ heavy call/return traffic a Lisp interpreter generates.
 
 from __future__ import annotations
 
-from repro.workloads._asmlib import aux_phase, join_sections
+from repro.workloads._asmlib import aux_phase, bounded_driver, join_sections
 from repro.workloads.base import DataSet, INTEGER, Workload, register_workload
 
 _STACK_BASE = 0x0020_0000
@@ -29,7 +29,7 @@ class Li(Workload):
 
     name = "li"
     category = INTEGER
-    version = 2
+    version = 3
     datasets = {
         # hanoi_weight of 8 driver slots run the hanoi kernel; the rest run
         # queens.  Table 3: train = towers of hanoi, test = eight queens.
@@ -50,19 +50,22 @@ class Li(Workload):
         queens_start = dataset.param("queens_start", 0)
         # Cold-branch tail (Table 1 lists 489 static conditional branches).
         aux_init, aux_call, aux_sub = aux_phase(
-            369, seed=489, label_prefix="liaux", call_period_log2=4, groups=16
+            369, seed=489, label_prefix="liaux", call_period_log2=4, groups=16, seed_state=False
         )
         warm_init, warm_call, warm_sub = aux_phase(96, seed=490, label_prefix="liwarm", call_period_log2=4, groups=4, counter_reg="r25")
+        drv_init, drv_check, drv_stop = bounded_driver("r15", label_prefix="lidrv")
         text = f"""
 _start:
 {aux_init}
 {warm_init}
+{drv_init}
     li   sp, {_STACK_BASE}
     li   r21, board
     li   r19, 0             ; work counter (moves + solutions)
     li   r14, 0             ; driver slot counter
 
 driver:
+{drv_check}
     addi r14, r14, 1
     andi r13, r14, 7
     li   r12, {hanoi_weight}
@@ -181,6 +184,8 @@ found:
 {aux_sub}
 
 {warm_sub}
+
+{drv_stop}
 
 .data
 board: .space 8

@@ -13,7 +13,7 @@ Table 1 lists only 213 static conditional branches for the original).
 
 from __future__ import annotations
 
-from repro.workloads._asmlib import aux_phase, join_sections
+from repro.workloads._asmlib import aux_phase, bounded_driver, join_sections
 from repro.workloads.base import DataSet, FLOATING_POINT, Workload, register_workload
 
 
@@ -23,7 +23,7 @@ class Matrix300(Workload):
 
     name = "matrix300"
     category = FLOATING_POINT
-    version = 1
+    version = 2
     datasets = {
         # Table 3: no alternative data set applicable (marked NA).
         "test": DataSet("default", {"n": 64}),
@@ -33,12 +33,14 @@ class Matrix300(Workload):
         n = dataset.param("n", 64)
         cells = n * n
         # Cold-branch tail (Table 1 lists 213 static conditional branches).
-        aux_init, aux_call, aux_sub = aux_phase(109, seed=300, label_prefix="m3aux", call_period_log2=5)
+        aux_init, aux_call, aux_sub = aux_phase(109, seed=300, label_prefix="m3aux", call_period_log2=5, seed_state=False)
         warm_init, warm_call, warm_sub = aux_phase(96, seed=301, label_prefix="m3warm", call_period_log2=2, groups=4, counter_reg="r25")
+        drv_init, drv_check, drv_stop = bounded_driver("r15", label_prefix="m3drv")
         text = f"""
 _start:
 {aux_init}
 {warm_init}
+{drv_init}
     li   r20, {n}          ; N
     li   r21, mat_a
     li   r22, mat_b
@@ -58,6 +60,7 @@ init:
     blt  r2, r3, init
 
 outer:
+{drv_check}
     li   r2, 0             ; i
 iloop:
     li   r3, 0             ; j
@@ -95,6 +98,8 @@ kloop:
 {aux_sub}
 
 {warm_sub}
+
+{drv_stop}
 """
         data = f"""
 .data

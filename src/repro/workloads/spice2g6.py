@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 
-from repro.workloads._asmlib import aux_phase, join_sections, words_directive
+from repro.workloads._asmlib import aux_phase, bounded_driver, join_sections, words_directive
 from repro.workloads.base import DataSet, FLOATING_POINT, Workload, register_workload
 
 
@@ -41,7 +41,7 @@ class Spice2g6(Workload):
 
     name = "spice2g6"
     category = FLOATING_POINT
-    version = 1
+    version = 2
     datasets = {
         # The training input is "short greycode.in" — the same circuit run
         # shorter: identical element list with a few devices swapped, same
@@ -69,12 +69,14 @@ class Spice2g6(Workload):
                 types[position] = alt_types[offset]
                 params[position] = alt_params[offset]
         # Cold-branch tail (Table 1 lists 606 static conditional branches).
-        aux_init, aux_call, aux_sub = aux_phase(479, seed=606, label_prefix="spaux", call_period_log2=3, groups=16)
+        aux_init, aux_call, aux_sub = aux_phase(479, seed=606, label_prefix="spaux", call_period_log2=3, groups=16, seed_state=False)
         warm_init, warm_call, warm_sub = aux_phase(96, seed=607, label_prefix="spwarm", call_period_log2=0, groups=4, counter_reg="r25")
+        drv_init, drv_check, drv_stop = bounded_driver("r15", label_prefix="spdrv")
         text = f"""
 _start:
 {aux_init}
 {warm_init}
+{drv_init}
     li   r20, etypes
     li   r21, eparams
     li   r22, state
@@ -82,6 +84,7 @@ _start:
     li   r18, {r18_init}    ; iteration counter (perturbation source)
 
 newton:
+{drv_check}
 {aux_call}
 {warm_call}
     li   r19, 0             ; non-converged element count
@@ -152,6 +155,8 @@ perturb:
 {aux_sub}
 
 {warm_sub}
+
+{drv_stop}
 """
         data = join_sections(
             ".data",

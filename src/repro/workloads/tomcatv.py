@@ -13,7 +13,13 @@ the same convergence-driven behaviour the original exhibits.
 
 from __future__ import annotations
 
-from repro.workloads._asmlib import aux_phase, join_sections, random_words, words_directive
+from repro.workloads._asmlib import (
+    aux_phase,
+    bounded_driver,
+    join_sections,
+    random_words,
+    words_directive,
+)
 from repro.workloads.base import DataSet, FLOATING_POINT, Workload, register_workload
 
 
@@ -23,7 +29,7 @@ class Tomcatv(Workload):
 
     name = "tomcatv"
     category = FLOATING_POINT
-    version = 1
+    version = 2
     datasets = {
         # Table 3: no alternative data set applicable (marked NA).
         "test": DataSet("default", {"n": 64, "seed": 1009, "tol": 8}),
@@ -36,18 +42,21 @@ class Tomcatv(Workload):
         cells = n * n
         initial = random_words(seed, cells, lo=0, hi=4096)
         # Cold-branch tail (Table 1 lists 370 static conditional branches).
-        aux_init, aux_call, aux_sub = aux_phase(259, seed=370, label_prefix="tcaux", call_period_log2=2, groups=16)
+        aux_init, aux_call, aux_sub = aux_phase(259, seed=370, label_prefix="tcaux", call_period_log2=2, groups=16, seed_state=False)
         warm_init, warm_call, warm_sub = aux_phase(96, seed=371, label_prefix="tcwarm", call_period_log2=0, groups=4, counter_reg="r25")
+        drv_init, drv_check, drv_stop = bounded_driver("r18", label_prefix="tcdrv")
         text = f"""
 _start:
 {aux_init}
 {warm_init}
+{drv_init}
     li   r20, {n}           ; N
     li   r21, grid
     li   r22, scratch
     li   r23, {tol}         ; tolerance
 
 sweep:
+{drv_check}
     li   r19, 0             ; residual count this sweep
     li   r2, 1              ; i = 1 .. N-2
 irow:
@@ -121,6 +130,8 @@ rough:
 {aux_sub}
 
 {warm_sub}
+
+{drv_stop}
 """
         data = join_sections(
             ".data",

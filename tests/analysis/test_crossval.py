@@ -1,0 +1,77 @@
+"""Static-vs-dynamic cross-validation over every bundled workload variant.
+
+The payoff test for the static analyzer: every branch the trace pipeline
+observes must appear in the static branch-site table with the same class,
+target and direction, and the analytically-derived BTFN accuracy must equal
+what :class:`repro.predictors.static_schemes.BTFNPredictor` actually scores
+when simulated over the same trace.
+"""
+
+import pytest
+
+from repro.analysis import cross_validate, lint_program
+from repro.isa.assembler import assemble
+from repro.workloads import workload_names
+from repro.workloads.base import get_workload
+
+
+def _program(name, role):
+    workload = get_workload(name)
+    return assemble(workload.build_source(workload.dataset(role)))
+
+VARIANTS = [
+    (name, role)
+    for name in workload_names()
+    for role in sorted(get_workload(name).datasets)
+]
+
+
+@pytest.fixture(scope="module")
+def validated(trace_cache, small_scale):
+    reports = {}
+
+    def run(name, role):
+        key = (name, role)
+        if key not in reports:
+            trace = trace_cache.get(get_workload(name), role, small_scale)
+            reports[key] = cross_validate(
+                _program(name, role), trace.records, name=f"{name}:{role}"
+            )
+        return reports[key]
+
+    return run
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("name,role", VARIANTS)
+    def test_every_dynamic_site_matches_static_table(self, validated, name, role):
+        report = validated(name, role)
+        assert report.mismatches == [], report.mismatches[:5]
+
+    @pytest.mark.parametrize("name,role", VARIANTS)
+    def test_static_btfn_equals_simulated_btfn(self, validated, name, role):
+        report = validated(name, role)
+        assert report.btfn_total > 0
+        assert report.static_btfn_correct == report.simulated_btfn_correct
+
+    @pytest.mark.parametrize("name,role", VARIANTS)
+    def test_observed_sites_are_subset_of_static(self, validated, name, role):
+        report = validated(name, role)
+        assert report.observed_static <= report.static_total
+        assert report.observed_static == report.dynamic_total
+        assert report.ok
+
+    @pytest.mark.parametrize("name,role", VARIANTS)
+    def test_report_serializes(self, validated, name, role):
+        payload = validated(name, role).as_dict()
+        assert payload["program"] == f"{name}:{role}"
+        assert payload["ok"] is True
+        assert payload["static_total"] >= payload["observed_static"]
+        assert payload["observed_per_class"].get("conditional", 0) > 0
+
+
+class TestWorkloadProgramsLintClean:
+    @pytest.mark.parametrize("name,role", VARIANTS)
+    def test_no_errors_no_warnings(self, name, role):
+        result = lint_program(_program(name, role), name=f"{name}:{role}")
+        assert result.clean, [d.render() for d in result.diagnostics]

@@ -1,0 +1,218 @@
+"""Lint rules: each fires on a minimal trigger and stays quiet otherwise."""
+
+import pytest
+
+from repro.analysis import RULES, Severity, lint_source
+
+CLEAN = """
+_start:
+    li r2, 5
+loop:
+    addi r3, r3, 1
+    st  r3, 0(r2)
+    subi r2, r2, 1
+    bnez r2, loop
+    halt
+"""
+
+
+def _rules_fired(source: str):
+    return {d.rule for d in lint_source(source).diagnostics}
+
+
+class TestRuleCatalogue:
+    def test_eight_rules_with_stable_ids(self):
+        assert sorted(RULES) == [f"R00{n}" for n in range(1, 9)]
+
+    def test_severities(self):
+        severities = {rule_id: rule.severity for rule_id, rule in RULES.items()}
+        assert severities["R002"] is Severity.ERROR
+        assert severities["R004"] is Severity.ERROR
+        assert severities["R006"] is Severity.ERROR
+        for rule_id in ("R001", "R003", "R005", "R007", "R008"):
+            assert severities[rule_id] is Severity.WARNING
+
+
+class TestCleanProgram:
+    def test_no_findings(self):
+        result = lint_source(CLEAN)
+        assert result.clean and result.ok
+        assert result.diagnostics == []
+
+
+class TestTriggers:
+    def test_r001_unreachable_block(self):
+        fired = _rules_fired(
+            """
+_start:
+    br out
+dead:
+    addi r2, r2, 1
+out:
+    halt
+"""
+        )
+        assert "R001" in fired
+
+    def test_r002_fallthrough_off_text_end(self):
+        fired = _rules_fired("_start:\n    addi r2, r2, 1\n")
+        assert "R002" in fired
+
+    def test_r003_uninitialized_read(self):
+        fired = _rules_fired(
+            """
+_start:
+    addi r3, r9, 1
+    st r3, 0(r3)
+    halt
+"""
+        )
+        assert "R003" in fired
+
+    def test_r004_branch_outside_text(self):
+        fired = _rules_fired(
+            """
+_start:
+    beq r0, r0, 0x2000
+    halt
+"""
+        )
+        assert "R004" in fired
+
+    def test_r005_rts_without_call(self):
+        fired = _rules_fired(
+            """
+_start:
+    bnez r2, done
+    rts
+done:
+    halt
+"""
+        )
+        assert "R005" in fired
+
+    def test_r005_call_without_rts(self):
+        fired = _rules_fired(
+            """
+_start:
+    bsr sub
+    halt
+sub:
+    br sub
+"""
+        )
+        assert "R005" in fired
+
+    def test_r006_infinite_loop(self):
+        diagnostics = lint_source(
+            """
+_start:
+loop:
+    addi r2, r2, 1
+    br loop
+"""
+        ).diagnostics
+        r006 = [d for d in diagnostics if d.rule == "R006"]
+        assert r006 and r006[0].severity is Severity.ERROR
+
+    def test_r006_quiet_when_loop_has_exit(self):
+        assert "R006" not in _rules_fired(CLEAN)
+
+    def test_r007_dead_store(self):
+        fired = _rules_fired(
+            """
+_start:
+    li r2, 1
+    li r2, 2
+    st r2, 0(r2)
+    halt
+"""
+        )
+        assert "R007" in fired
+
+    def test_r008_no_reachable_halt(self):
+        fired = _rules_fired(
+            """
+_start:
+loop:
+    addi r2, r2, 1
+    subi r2, r2, 2
+    bnez r2, loop
+    br loop
+"""
+        )
+        assert "R008" in fired
+
+
+class TestDiagnostics:
+    def test_diagnostic_carries_address_label_and_message(self):
+        result = lint_source(
+            """
+_start:
+    br out
+dead:
+    addi r2, r2, 1
+out:
+    halt
+"""
+        )
+        [d] = [d for d in result.diagnostics if d.rule == "R001"]
+        assert d.address == 0x1004
+        assert d.label == "dead"
+        assert "unreachable" in d.message
+        rendered = d.render()
+        assert "0x00001004" in rendered and "R001" in rendered
+
+    def test_as_dict_schema(self):
+        result = lint_source("_start:\n    addi r2, r2, 1\n", name="x")
+        payload = result.as_dict()
+        assert payload["program"] == "x"
+        assert set(payload) == {
+            "program", "blocks", "edges", "errors", "warnings", "diagnostics"
+        }
+        for entry in payload["diagnostics"]:
+            assert set(entry) == {
+                "rule", "name", "severity", "address", "label", "message"
+            }
+
+    def test_errors_drive_ok_but_not_clean(self):
+        result = lint_source(
+            """
+_start:
+    br out
+dead:
+    addi r2, r2, 1
+out:
+    halt
+"""
+        )
+        assert not result.clean and result.ok  # warnings only
+
+    def test_diagnostics_sorted_by_address(self):
+        result = lint_source(
+            """
+_start:
+    addi r3, r9, 1
+    li r4, 1
+    li r4, 2
+    st r4, 0(r3)
+    addi r2, r2, 1
+"""
+        )
+        addresses = [d.address for d in result.diagnostics if d.address is not None]
+        assert addresses == sorted(addresses)
+
+
+class TestWorkloadsLintClean:
+    @pytest.mark.parametrize("name", [
+        "eqntott", "espresso", "gcc", "li", "doduc",
+        "fpppp", "matrix300", "spice2g6", "tomcatv",
+    ])
+    def test_every_bundled_program_is_clean(self, name):
+        from repro.workloads.base import get_workload
+
+        workload = get_workload(name)
+        for role in sorted(workload.datasets):
+            source = workload.build_source(workload.dataset(role))
+            result = lint_source(source, name=f"{name}:{role}")
+            assert result.clean, [d.render() for d in result.diagnostics]

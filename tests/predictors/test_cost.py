@@ -1,8 +1,5 @@
 """Storage cost model."""
 
-import pytest
-
-from repro.errors import ConfigError
 from repro.predictors.cost import PC_BITS, StorageCost, storage_cost
 
 

@@ -125,7 +125,6 @@ class TestTournament:
         """A branch that alternates (two-level wins) interleaved with a
         biased-random branch (counter as good): the tournament should land
         near the better component on each."""
-        from repro.trace.synthetic import biased_branch
 
         tournament = self._make()
         alternating = list(periodic_branch([True, False], 800, pc=0x100))

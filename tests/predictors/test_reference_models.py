@@ -6,11 +6,11 @@ simple reference implementations over hypothesis-generated access
 sequences, so any optimisation bug shows up as a divergence.
 """
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from hypothesis import given, settings, strategies as st
 
-from repro.predictors.automata import A2, AUTOMATA
+from repro.predictors.automata import A2
 from repro.predictors.base import measure_accuracy
 from repro.predictors.hrt import AHRT, _index_hash
 from repro.predictors.pattern_table import PatternTable

@@ -1,7 +1,5 @@
 """Command-line interface."""
 
-import pytest
-
 from repro.cli import main
 
 
@@ -135,3 +133,102 @@ class TestSweepFormats:
                      "--format", "markdown"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("| scheme | li |")
+
+
+class TestLint:
+    DIRTY = "\n".join([
+        "_start:",
+        "    br out",
+        "dead:",
+        "    addi r2, r2, 1",
+        "out:",
+        "loop:",
+        "    addi r3, r3, 1",
+        "    br loop",
+    ])
+
+    def test_clean_workload_exits_zero(self, capsys):
+        assert main(["lint", "matrix300"]) == 0
+        out = capsys.readouterr().out
+        assert "matrix300:test: clean" in out
+
+    def test_all_workloads_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "14 program(s): 0 error(s), 0 warning(s)" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        source = tmp_path / "dirty.s"
+        source.write_text(self.DIRTY + "\n")
+        assert main(["lint", str(source)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out  # dead: unreachable
+        assert "R006" in out  # loop never exits
+        assert "R008" in out  # no reachable halt
+
+    def test_warnings_alone_exit_zero_unless_strict(self, tmp_path):
+        source = tmp_path / "warn.s"
+        source.write_text("\n".join([
+            "_start:",
+            "    br out",
+            "dead:",
+            "    addi r2, r2, 1",
+            "out:",
+            "    halt",
+        ]) + "\n")
+        assert main(["lint", str(source)]) == 0
+        assert main(["lint", "--strict", str(source)]) == 1
+
+    def test_explicit_absent_dataset_exits_two(self, capsys):
+        # eqntott has no train set: naming it explicitly is a usage error,
+        # while the lint-everything default silently skips absent roles.
+        assert main(["lint", "eqntott", "--dataset", "train"]) == 2
+        assert "has no 'train' dataset" in capsys.readouterr().err
+        assert main(["lint", "--dataset", "train"]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.s")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_assembly_error_exits_two(self, tmp_path, capsys):
+        source = tmp_path / "broken.s"
+        source.write_text("bogus r1, r2\n")
+        assert main(["lint", str(source)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_schema(self, tmp_path, capsys):
+        import json
+
+        source = tmp_path / "dirty.s"
+        source.write_text(self.DIRTY + "\n")
+        assert main(["lint", "--json", str(source)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["exit"] == 1
+        assert payload["summary"]["errors"] >= 1
+        [entry] = payload["programs"]
+        assert entry["program"] == str(source)
+        rules = {d["rule"] for d in entry["diagnostics"]}
+        assert {"R001", "R006", "R008"} <= rules
+        for diagnostic in entry["diagnostics"]:
+            assert set(diagnostic) == {
+                "rule", "name", "severity", "address", "label", "message"
+            }
+
+    def test_json_clean_workload(self, capsys):
+        import json
+
+        assert main(["lint", "--json", "matrix300"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {
+            "programs": 1, "errors": 0, "warnings": 0, "exit": 0
+        }
+        [entry] = payload["programs"]
+        assert entry["diagnostics"] == []
+
+    def test_cross_validate_flag(self, capsys):
+        assert main([
+            "lint", "matrix300", "--cross-validate", "--scale", "1000"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cross-validation" in out

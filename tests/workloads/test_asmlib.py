@@ -1,7 +1,5 @@
 """Assembly-generation helpers."""
 
-import pytest
-
 from repro.isa.assembler import assemble
 from repro.isa.cpu import CPU
 from repro.workloads._asmlib import (

@@ -10,7 +10,6 @@ import pytest
 from repro.isa.assembler import assemble
 from repro.predictors.base import measure_accuracy
 from repro.predictors.spec import parse_spec
-from repro.trace.record import BranchClass
 from repro.trace.stats import conditional_pc_histogram, taken_rate
 from repro.workloads.base import get_workload
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.isa.assembler import assemble
 from repro.trace.stats import static_branch_census, taken_rate
-from repro.workloads.base import FLOATING_POINT, INTEGER, get_workload, workload_names
+from repro.workloads.base import INTEGER, get_workload, workload_names
 
 SCALE = 12_000
 
