@@ -30,6 +30,7 @@ from repro.experiments import experiment_ids, get_experiment
 from repro.isa.assembler import assemble
 from repro.isa.cpu import CPU
 from repro.isa.disassembler import disassemble_program
+from repro.sim.backend import BACKEND_CHOICES
 from repro.sim.runner import run_sweep
 from repro.trace.encoding import write_trace
 from repro.trace.text_format import write_text_trace
@@ -76,6 +77,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             benchmarks=benchmarks,
             cache=cache,
             jobs=args.jobs,
+            backend=args.backend,
         )
         print(report.render())
         print()
@@ -93,6 +95,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_conditional=args.scale,
         cache=_build_cache(args),
         jobs=args.jobs,
+        backend=args.backend,
     )
     if args.format != "table":
         from repro.sim.export import sweep_to_csv, sweep_to_markdown
@@ -315,6 +318,11 @@ def _add_perf_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the sweep grid (1 = serial, 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="simulation backend: vectorized NumPy kernels, the pure-Python"
+             " scalar engine, or auto-detect (results are identical)",
     )
     parser.add_argument(
         "--cache-dir", metavar="PATH",

@@ -57,3 +57,9 @@ class SpecParseError(ConfigError):
 class WorkloadError(ReproError):
     """A workload or data set was requested that does not exist or cannot
     be built."""
+
+
+class KernelError(ReproError):
+    """A vectorized kernel was asked to score a spec it cannot express
+    exactly (or NumPy is unavailable); callers fall back to the scalar
+    engine."""

@@ -34,8 +34,9 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> ExperimentReport:
-    runner = SweepRunner(benchmarks, max_conditional, cache)
+    runner = SweepRunner(benchmarks, max_conditional, cache, backend=backend)
     sweep = runner.run(SPECS, jobs=jobs)
 
     # Static Training as realistically deployed: Diff where Table 3 provides

@@ -24,8 +24,9 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> ExperimentReport:
-    del jobs  # single pass over cached traces; nothing to parallelise
+    del jobs, backend  # single pass over cached traces; no predictor simulated
     cache = cache if cache is not None else default_cache()
     names = list(benchmarks) if benchmarks is not None else workload_names()
 

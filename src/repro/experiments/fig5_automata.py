@@ -31,8 +31,9 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> ExperimentReport:
-    sweep = run_sweep(SPECS, benchmarks, max_conditional, cache, jobs=jobs)
+    sweep = run_sweep(SPECS, benchmarks, max_conditional, cache, jobs=jobs, backend=backend)
     means = {spec: sweep.mean(spec) for spec in sweep.schemes()}
     a2, a3, a4, lt = (means[spec] for spec in SPECS)
 

@@ -37,8 +37,9 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> ExperimentReport:
-    runner = SweepRunner(benchmarks, max_conditional, cache)
+    runner = SweepRunner(benchmarks, max_conditional, cache, backend=backend)
     sweep = runner.run(SPECS, jobs=jobs)
 
     same_ihrt = sweep.accuracies("ST(IHRT(,12SR),PT(2^12,PB),Same)")

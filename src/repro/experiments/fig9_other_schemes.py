@@ -39,8 +39,9 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> ExperimentReport:
-    sweep = run_sweep(SPECS, benchmarks, max_conditional, cache, jobs=jobs)
+    sweep = run_sweep(SPECS, benchmarks, max_conditional, cache, jobs=jobs, backend=backend)
     mean = {spec: sweep.mean(spec) for spec in sweep.schemes()}
 
     checks = [

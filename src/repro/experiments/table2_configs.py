@@ -49,8 +49,9 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     cache: Optional[TraceCache] = None,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> ExperimentReport:
-    del max_conditional, benchmarks, cache, jobs  # table 2 is configuration-only
+    del max_conditional, benchmarks, cache, jobs, backend  # configuration-only
     training = list(random_program(64, 4000, seed=7))
 
     rows = []

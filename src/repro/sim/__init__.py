@@ -12,8 +12,15 @@ from repro.sim.analysis import (
     pattern_conflicts,
     windowed_accuracy,
 )
+from repro.sim.backend import (
+    BACKEND_CHOICES,
+    default_backend,
+    has_numpy,
+    resolve_backend,
+)
 from repro.sim.engine import simulate, simulate_packed
 from repro.sim.export import rows_to_markdown, sweep_to_csv, sweep_to_markdown
+from repro.sim.kernels import choose_backend, score_spec, simulate_spec, vectorizable
 from repro.sim.pipeline import PipelineConfig, PipelineResult, simulate_pipeline
 from repro.sim.results import (
     BenchmarkResult,
@@ -25,7 +32,15 @@ from repro.sim.parallel import run_parallel_sweep
 from repro.sim.runner import SweepRunner, run_sweep
 
 __all__ = [
+    "BACKEND_CHOICES",
     "BenchmarkResult",
+    "choose_backend",
+    "default_backend",
+    "has_numpy",
+    "resolve_backend",
+    "score_spec",
+    "simulate_spec",
+    "vectorizable",
     "PatternConflictStats",
     "PipelineConfig",
     "PipelineResult",

@@ -1,0 +1,85 @@
+"""Simulation backend selection: the scalar engine vs the vectorized kernels.
+
+Two backends can score a predictor spec over a packed trace:
+
+* ``scalar`` — the authoritative pure-Python engine
+  (:func:`repro.sim.engine.simulate` / ``simulate_packed``), always
+  available, the reference for every correctness claim in the repo.
+* ``vector`` — the columnar kernels in :mod:`repro.sim.kernels`, which
+  score whole predictor families with NumPy batch operations.  NumPy is an
+  *optional* dependency: the kernels are only offered when it imports.
+
+``auto`` (the default everywhere) resolves to ``vector`` when NumPy is
+installed and the spec is vectorizable, and to ``scalar`` otherwise, so the
+fast path is picked up automatically without changing any result — the
+kernels are bit-exact against the scalar engine, and specs they cannot
+express exactly fall back to the scalar path transparently.
+
+The process-wide default can be forced with the ``REPRO_BACKEND``
+environment variable (same three values); the CLI's ``--backend`` flag
+overrides per invocation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from repro.errors import ConfigError
+
+#: accepted ``--backend`` / ``REPRO_BACKEND`` values.
+BACKEND_CHOICES = ("auto", "scalar", "vector")
+
+_NUMPY: Any = None
+_NUMPY_CHECKED = False
+
+
+def numpy_or_none() -> Any:
+    """The :mod:`numpy` module if importable, else ``None`` (cached)."""
+    global _NUMPY, _NUMPY_CHECKED
+    if not _NUMPY_CHECKED:
+        _NUMPY_CHECKED = True
+        try:
+            import numpy  # noqa: PLC0415 - optional dependency probe
+
+            _NUMPY = numpy
+        except ImportError:
+            _NUMPY = None
+    return _NUMPY
+
+
+def has_numpy() -> bool:
+    """Whether the optional NumPy dependency is available."""
+    return numpy_or_none() is not None
+
+
+def default_backend() -> str:
+    """The process default: ``REPRO_BACKEND`` when set, else ``auto``."""
+    value = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    return value if value in BACKEND_CHOICES else "auto"
+
+
+def resolve_backend(choice: Optional[str] = None) -> str:
+    """Resolve a backend request to a concrete ``scalar`` / ``vector``.
+
+    ``None`` means "use the process default" (:func:`default_backend`).
+    ``auto`` picks ``vector`` exactly when NumPy is importable.  An explicit
+    ``vector`` without NumPy raises :class:`~repro.errors.ConfigError` —
+    the user asked for something the environment cannot provide — whereas
+    ``auto`` silently degrades.
+    """
+    if choice is None:
+        choice = default_backend()
+    choice = choice.strip().lower()
+    if choice not in BACKEND_CHOICES:
+        raise ConfigError(
+            f"unknown backend {choice!r}; expected one of {BACKEND_CHOICES}"
+        )
+    if choice == "auto":
+        return "vector" if has_numpy() else "scalar"
+    if choice == "vector" and not has_numpy():
+        raise ConfigError(
+            "backend 'vector' requires NumPy, which is not installed"
+            " (use 'auto' to fall back to the scalar engine automatically)"
+        )
+    return choice

@@ -11,10 +11,12 @@ through serially.  :func:`run_parallel_sweep` fans that grid out over a
   so workers only ever pay the (cheap, columnar) disk read.  A memory-only
   cache is transparently given a temporary disk directory for the duration
   of the sweep.
-* Each task is a picklable ``(spec, benchmark, cap)`` tuple; the worker
-  initializer builds a per-process cache against the shared directory, so a
-  worker that simulates several configurations of one benchmark loads its
-  trace once.
+* Each task is a picklable ``(spec, benchmark, cap, backend)`` tuple; the
+  worker initializer builds a per-process cache against the shared directory,
+  so a worker that simulates several configurations of one benchmark loads
+  its trace once.  The backend is resolved (``auto`` -> ``scalar`` or
+  ``vector``) once in the coordinating process so every worker scores with
+  the same engine.
 * Results merge into the :class:`~repro.sim.results.SweepResult` in the
   deterministic (spec-order, then benchmark-order) sequence of the serial
   runner, regardless of task completion order, so serial and parallel sweeps
@@ -34,14 +36,15 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import WorkloadError
 from repro.predictors.spec import PredictorSpec, parse_spec
+from repro.sim.backend import resolve_backend
 from repro.sim.results import BenchmarkResult, PredictionStats, SweepResult
 from repro.workloads.base import TraceCache, get_workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.runner import SweepRunner
 
-#: (spec string, benchmark name, conditional-branch cap)
-Task = Tuple[str, str, int]
+#: (spec string, benchmark name, conditional-branch cap, resolved backend)
+Task = Tuple[str, str, int, str]
 #: picklable flat result: the four PredictionStats counters
 StatsTuple = Tuple[int, int, int, int]
 
@@ -65,10 +68,11 @@ def _run_task(task: Task) -> StatsTuple:
     """Simulate one (spec, benchmark) cell inside a worker process."""
     from repro.sim.runner import SweepRunner
 
-    spec_text, benchmark, cap = task
+    spec_text, benchmark, cap, backend = task
     assert _WORKER_CACHE is not None, "worker initializer did not run"
     runner = SweepRunner(
-        benchmarks=[benchmark], max_conditional=cap, cache=_WORKER_CACHE
+        benchmarks=[benchmark], max_conditional=cap, cache=_WORKER_CACHE,
+        backend=backend,
     )
     stats = runner.run_one(spec_text, benchmark).stats
     return (
@@ -146,6 +150,7 @@ def run_parallel_sweep(
 
     cells = _plan_cells(parsed, runner.benchmarks, skip_unavailable)
     cap = runner.max_conditional
+    backend = resolve_backend(runner.backend)
 
     temp_dir: Optional[str] = None
     if runner.cache.disk_dir is not None:
@@ -156,7 +161,8 @@ def run_parallel_sweep(
     try:
         _warm_disk_cache(disk_cache, parsed, cells, cap)
         tasks: List[Task] = [
-            (parsed[index].canonical(), benchmark, cap) for index, benchmark in cells
+            (parsed[index].canonical(), benchmark, cap, backend)
+            for index, benchmark in cells
         ]
         try:
             outcomes = _dispatch(tasks, jobs, str(disk_cache.disk_dir))

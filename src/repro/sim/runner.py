@@ -13,13 +13,14 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.errors import WorkloadError
 from repro.predictors.spec import PredictorSpec, parse_spec
-from repro.sim.engine import simulate
+from repro.sim.kernels import choose_backend, score_spec
 from repro.sim.results import BenchmarkResult, SweepResult
 from repro.trace.record import BranchRecord
 from repro.workloads.base import (
     DEFAULT_CONDITIONAL_BRANCHES,
     TraceCache,
     Workload,
+    WorkloadTrace,
     default_cache,
     get_workload,
     workload_names,
@@ -40,6 +41,9 @@ class SweepRunner:
         max_conditional: per-benchmark conditional-branch cap (the paper's
             twenty-million equivalent; scaled for Python).
         cache: trace cache to use (defaults to the shared process cache).
+        backend: simulation backend — ``auto`` (vector kernels when NumPy
+            is available, scalar otherwise), ``scalar``, or ``vector``; see
+            :mod:`repro.sim.backend`.  Results are identical either way.
     """
 
     def __init__(
@@ -47,10 +51,12 @@ class SweepRunner:
         benchmarks: Optional[Sequence[str]] = None,
         max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
         cache: Optional[TraceCache] = None,
+        backend: str = "auto",
     ):
         self.benchmarks = list(benchmarks) if benchmarks is not None else workload_names()
         self.max_conditional = max_conditional
         self.cache = cache if cache is not None else default_cache()
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _workload(self, name: str) -> Workload:
@@ -69,15 +75,22 @@ class SweepRunner:
         and raises :class:`~repro.errors.WorkloadError` for the four
         benchmarks that have none.
         """
+        return self._training_workload_trace(benchmark, data_mode).records
+
+    def _training_workload_trace(self, benchmark: str, data_mode: str) -> WorkloadTrace:
+        """:meth:`training_trace`'s cached :class:`WorkloadTrace` form, so
+        both backends (records for scalar, columns for vector) share one
+        cache entry."""
         if data_mode == "Same":
-            return self.testing_trace(benchmark)
+            workload = self._workload(benchmark)
+            return self.cache.get(workload, "test", self.max_conditional)
         workload = self._workload(benchmark)
         if not workload.has_training_set:
             raise WorkloadError(
                 f"benchmark {benchmark!r} has no alternative training data set"
                 " (Table 3 marks it NA)"
             )
-        return self.cache.get(workload, "train", self.max_conditional).records
+        return self.cache.get(workload, "train", self.max_conditional)
 
     # ------------------------------------------------------------------
     def run_one(self, spec: SpecLike, benchmark: str) -> BenchmarkResult:
@@ -85,17 +98,25 @@ class SweepRunner:
         parsed = _as_spec(spec)
         workload = self._workload(benchmark)
         trace = self.cache.get(workload, "test", self.max_conditional)
-        records = trace.records
-        training: Optional[List[BranchRecord]] = None
+        training: Optional[WorkloadTrace] = None
         if parsed.scheme == "ST":
-            training = self.training_trace(benchmark, parsed.data_mode or "Same")
+            training = self._training_workload_trace(benchmark, parsed.data_mode or "Same")
         elif parsed.scheme == "Profile":
             # the paper's profiling scheme profiles the execution data set
-            training = records
-        predictor = parsed.build(training_records=training)
-        # the packed columnar form replays measurably faster and scores
-        # identically (see repro.sim.engine.simulate_packed)
-        stats = simulate(predictor, trace.packed())
+            training = trace
+        # the vector kernels where they apply, else the scalar engine over
+        # the packed columnar form (which replays measurably faster and
+        # scores identically — see repro.sim.engine.simulate_packed and
+        # repro.sim.kernels); either way the stats are bit-identical
+        backend = choose_backend(parsed, self.backend)
+        needs_packed_training = training is not None and backend == "vector"
+        stats = score_spec(
+            parsed,
+            trace.packed(),
+            backend=backend,
+            training=training.packed() if needs_packed_training else None,
+            training_records=None if training is None else training.records,
+        )
         return BenchmarkResult(
             scheme=parsed.canonical(), benchmark=benchmark, stats=stats
         )
@@ -141,11 +162,13 @@ def run_sweep(
     max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
     cache: Optional[TraceCache] = None,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`.
 
     ``jobs`` > 1 (or ``0`` for one worker per CPU) runs the sweep on a
-    process pool; see :meth:`SweepRunner.run`.
+    process pool; see :meth:`SweepRunner.run`.  ``backend`` selects the
+    simulation backend (``auto`` / ``scalar`` / ``vector``).
     """
-    runner = SweepRunner(benchmarks, max_conditional, cache)
+    runner = SweepRunner(benchmarks, max_conditional, cache, backend=backend)
     return runner.run(specs, jobs=jobs)

@@ -13,7 +13,11 @@ same information as parallel machine-typed columns:
 plus three *derived* conditional-only columns (``cond_pc``, ``cond_target``,
 ``cond_taken``) so the direction-predictor hot loop in
 :func:`repro.sim.engine.simulate_packed` touches nothing but the records it
-scores.  The round-trip ``records -> pack_records -> to_records`` is
+scores.  The derived columns are computed lazily on first access (flag
+validation still happens eagerly in ``__init__``): warm cache loads,
+RAS-path simulations and the vectorized kernel backend never pay for boxed
+tuples they do not read.  The round-trip
+``records -> pack_records -> to_records`` is
 lossless for every valid branch record (32-bit addresses, all four branch
 classes, both flag bits).
 
@@ -26,7 +30,7 @@ from __future__ import annotations
 
 from array import array
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Tuple, Union
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import TraceFormatError
 from repro.trace.record import BranchClass, BranchRecord
@@ -37,6 +41,12 @@ _CLS_MASK = 0x0E
 _RETURN_BITS = int(BranchClass.RETURN) << 1
 
 _ADDR_TYPECODE = "I" if array("I").itemsize >= 4 else "L"
+
+#: translate table mapping a flag byte to 1 for conditional records, else 0,
+#: so ``sum(flags.translate(...))`` counts conditionals without a Python loop.
+_CONDITIONAL_TABLE = bytes(
+    1 if not byte & _CLS_MASK else 0 for byte in range(256)
+)
 
 
 def pack_flags(taken: bool, cls: BranchClass, is_call: bool) -> int:
@@ -66,7 +76,7 @@ class PackedTrace:
     the columnar fast path.
     """
 
-    __slots__ = ("pc", "target", "flags", "cond_pc", "cond_target", "cond_taken")
+    __slots__ = ("pc", "target", "flags", "_num_conditional", "_cond_columns")
 
     def __init__(self, pc: array, target: array, flags: bytes):
         if not (len(pc) == len(target) == len(flags)):
@@ -74,29 +84,66 @@ class PackedTrace:
                 f"column length mismatch: pc={len(pc)} target={len(target)}"
                 f" flags={len(flags)}"
             )
+        # Flag validation stays eager — a malformed trace must fail at
+        # construction, not at first replay — but runs at C speed: a byte
+        # column has at most 256 distinct values, so checking set(flags)
+        # never scales with trace length.
+        invalid = {f for f in set(flags) if f & ~_VALID_FLAG_MASK}
+        if invalid:
+            for f in flags:  # find the first offender for a precise message
+                if f in invalid:
+                    unpack_flags(f)  # raises
         self.pc = pc
         self.target = target
         self.flags = flags
-        # The derived conditional-only columns are tuples rather than arrays:
-        # the replay loop reads every element once per simulated predictor,
-        # and tuples hand back already-boxed ints where an array would have
-        # to re-box on every pass.
-        cond_pc = []
-        cond_target = []
-        cond_taken = []
-        append_pc = cond_pc.append
-        append_target = cond_target.append
-        append_taken = cond_taken.append
-        for index, f in enumerate(flags):
-            if f & ~_VALID_FLAG_MASK:
-                unpack_flags(f)  # raises with a precise message
-            if not f & _CLS_MASK:  # BranchClass.CONDITIONAL == 0
-                append_pc(pc[index])
-                append_target(target[index])
-                append_taken(bool(f & 1))
-        self.cond_pc: Tuple[int, ...] = tuple(cond_pc)
-        self.cond_target: Tuple[int, ...] = tuple(cond_target)
-        self.cond_taken: Tuple[bool, ...] = tuple(cond_taken)
+        # bytes.translate + sum stay in C; the count is needed eagerly by
+        # the stats plumbing and is cheap, unlike the boxed columns below.
+        self._num_conditional = sum(flags.translate(_CONDITIONAL_TABLE))
+        # The derived conditional-only columns are computed lazily (cached
+        # on first access): warm cache loads and RAS-path simulations never
+        # touch them, and the vector backend reads the raw byte columns
+        # directly.
+        self._cond_columns: Optional[
+            Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[bool, ...]]
+        ] = None
+
+    def _derive_cond_columns(
+        self,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[bool, ...]]:
+        # Tuples rather than arrays: the replay loop reads every element
+        # once per simulated predictor, and tuples hand back already-boxed
+        # ints where an array would have to re-box on every pass.
+        if self._cond_columns is None:
+            cond_pc = []
+            cond_target = []
+            cond_taken = []
+            append_pc = cond_pc.append
+            append_target = cond_target.append
+            append_taken = cond_taken.append
+            pc = self.pc
+            target = self.target
+            for index, f in enumerate(self.flags):
+                if not f & _CLS_MASK:  # BranchClass.CONDITIONAL == 0
+                    append_pc(pc[index])
+                    append_target(target[index])
+                    append_taken(bool(f & 1))
+            self._cond_columns = (tuple(cond_pc), tuple(cond_target), tuple(cond_taken))
+        return self._cond_columns
+
+    @property
+    def cond_pc(self) -> Tuple[int, ...]:
+        """Addresses of the conditional records (lazy, cached)."""
+        return self._derive_cond_columns()[0]
+
+    @property
+    def cond_target(self) -> Tuple[int, ...]:
+        """Targets of the conditional records (lazy, cached)."""
+        return self._derive_cond_columns()[1]
+
+    @property
+    def cond_taken(self) -> Tuple[bool, ...]:
+        """Outcomes of the conditional records (lazy, cached)."""
+        return self._derive_cond_columns()[2]
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -105,7 +152,7 @@ class PackedTrace:
     @property
     def num_conditional(self) -> int:
         """Number of conditional-branch records in the trace."""
-        return len(self.cond_taken)
+        return self._num_conditional
 
     def __iter__(self) -> Iterator[BranchRecord]:
         for pc, target, flags in zip(self.pc, self.target, self.flags):
@@ -155,10 +202,13 @@ def _read_packed_handle(handle: IO[bytes]) -> PackedTrace:
     from repro.trace import encoding
 
     count, record_struct = encoding.read_header(handle)
-    raw = handle.read(count * record_struct.size)
-    if len(raw) != count * record_struct.size:
+    expected_bytes = count * record_struct.size
+    raw = handle.read(expected_bytes)
+    if len(raw) != expected_bytes:
         raise TraceFormatError(
-            f"truncated trace body: expected {count} records"
+            f"truncated trace body: header promised {count} records"
+            f" ({expected_bytes} bytes), got {len(raw)} bytes"
+            f" ({len(raw) // record_struct.size} complete records)"
         )
     pcs = array(_ADDR_TYPECODE)
     targets = array(_ADDR_TYPECODE)

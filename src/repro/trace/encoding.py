@@ -123,7 +123,11 @@ def _iter_handle(handle: IO[bytes]) -> Iterator[BranchRecord]:
     for index in range(count):
         raw = handle.read(record_struct.size)
         if len(raw) != record_struct.size:
-            raise TraceFormatError(f"truncated trace body at record {index} of {count}")
+            raise TraceFormatError(
+                f"truncated trace body: header promised {count} records"
+                f" ({count * record_struct.size} bytes), stream ended at record"
+                f" {index} ({index * record_struct.size + len(raw)} bytes received)"
+            )
         pc, flags, target = record_struct.unpack(raw)[:3]
         taken, cls, is_call = _unpack_flags(flags)
         yield BranchRecord(pc=pc, cls=cls, taken=taken, target=target, is_call=is_call)

@@ -1,0 +1,234 @@
+"""Vectorized kernels: bit-exactness vs the scalar engine, backend dispatch.
+
+The property tests replay randomly generated conditional traces through both
+backends for every vectorizable spec family; the integration tests cover all
+fourteen workload variants (nine testing + five training data sets).  When
+NumPy is absent the vector-side tests skip and the resolution tests assert
+the documented degradation instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, KernelError
+from repro.predictors.spec import parse_spec
+from repro.sim import analysis
+from repro.sim.backend import (
+    BACKEND_CHOICES,
+    default_backend,
+    has_numpy,
+    resolve_backend,
+)
+from repro.sim.engine import simulate
+from repro.sim.kernels import (
+    choose_backend,
+    per_site_accuracy,
+    score_spec,
+    simulate_spec,
+    vectorizable,
+)
+from repro.sim.runner import SweepRunner
+from repro.trace.columnar import pack_records
+from repro.trace.record import BranchClass, BranchRecord
+from repro.workloads.base import get_workload, workload_names
+
+needs_numpy = pytest.mark.skipif(not has_numpy(), reason="NumPy not installed")
+
+#: every vectorizable spec family (stateless, per-address FSM, two-level AT,
+#: profiled ST, global-history extensions), plus assorted automata/lengths.
+VECTOR_SPECS = [
+    "AlwaysTaken",
+    "AlwaysNotTaken",
+    "BTFN",
+    "Profile",
+    "LS(IHRT(,LT),,)",
+    "LS(IHRT(,A1),,)",
+    "LS(IHRT(,A2),,)",
+    "AT(IHRT(,2SR),PT(2^2,A2),)",
+    "AT(IHRT(,6SR),PT(2^6,A3),)",
+    "AT(IHRT(,8SR),PT(2^8,A4),)",
+    "ST(IHRT(,4SR),PT(2^4,PB),Same)",
+    "GAg(6,A2)",
+    "gshare(8,A2)",
+]
+
+#: finite-HRT specs the kernels must refuse (order-dependent state sharing).
+SCALAR_ONLY_SPECS = [
+    "AT(AHRT(512,6SR),PT(2^6,A2),)",
+    "AT(HHRT(512,6SR),PT(2^6,A2),)",
+    "LS(AHRT(256,A2),,)",
+    "LS(HHRT(256,A2),,)",
+    "ST(AHRT(512,8SR),PT(2^8,PB),Same)",
+    "ST(HHRT(512,8SR),PT(2^8,PB),Same)",
+]
+
+#: small pc pool so random traces revisit branches (exercises bucket replay).
+_COND_RECORDS = st.lists(
+    st.builds(
+        BranchRecord,
+        pc=st.sampled_from([0x1000, 0x1004, 0x1008, 0x100C, 0x2000, 0x2004]),
+        cls=st.just(BranchClass.CONDITIONAL),
+        taken=st.booleans(),
+        target=st.integers(0, 0xFFFFFFFF),
+        is_call=st.just(False),
+    ),
+    max_size=120,
+)
+
+
+def _scalar_stats(spec, packed, training_records=None):
+    predictor = spec.build(training_records=training_records)
+    return simulate(predictor, packed)
+
+
+@needs_numpy
+class TestKernelProperty:
+    """Kernel == scalar engine on arbitrary conditional traces."""
+
+    @pytest.mark.parametrize("spec_text", VECTOR_SPECS)
+    @given(records=_COND_RECORDS)
+    @settings(deadline=None, max_examples=30)
+    def test_stats_match_scalar(self, spec_text, records):
+        spec = parse_spec(spec_text)
+        packed = pack_records(records)
+        expected = _scalar_stats(spec, packed, training_records=records)
+        got = simulate_spec(spec, packed, training=packed)
+        assert got == expected
+
+    @given(records=_COND_RECORDS)
+    @settings(deadline=None, max_examples=20)
+    def test_per_site_accuracy_matches(self, records):
+        spec = parse_spec("AT(IHRT(,4SR),PT(2^4,A2),)")
+        packed = pack_records(records)
+        expected = analysis.per_site_accuracy(spec.build(), records)
+        assert per_site_accuracy(spec, packed) == expected
+
+
+@needs_numpy
+class TestKernelWorkloads:
+    """Bit-exactness on every workload variant the repo ships."""
+
+    #: one spec per kernel shape: two-level FSM, per-address FSM, stateless.
+    PROBE_SPECS = ["AT(IHRT(,6SR),PT(2^6,A2),)", "LS(IHRT(,LT),,)", "BTFN"]
+
+    def _variants(self):
+        for name in workload_names():
+            yield name, "test"
+            if get_workload(name).has_training_set:
+                yield name, "train"
+
+    def test_all_fourteen_variants(self, trace_cache, small_scale):
+        variants = list(self._variants())
+        assert len(variants) == 14
+        for name, role in variants:
+            trace = trace_cache.get(get_workload(name), role, small_scale)
+            packed = trace.packed()
+            for spec_text in self.PROBE_SPECS:
+                spec = parse_spec(spec_text)
+                assert simulate_spec(spec, packed) == _scalar_stats(
+                    spec, packed
+                ), f"{spec_text} diverged on {name}/{role}"
+
+    def test_full_spec_list_on_eqntott(self, eqntott_trace):
+        packed = eqntott_trace.packed()
+        records = eqntott_trace.records
+        for spec_text in VECTOR_SPECS:
+            spec = parse_spec(spec_text)
+            expected = _scalar_stats(spec, packed, training_records=records)
+            assert simulate_spec(spec, packed, training=packed) == expected, spec_text
+
+    def test_runner_backends_agree(self, trace_cache, small_scale):
+        scalar = SweepRunner(
+            ["eqntott"], small_scale, trace_cache, backend="scalar"
+        )
+        vector = SweepRunner(
+            ["eqntott"], small_scale, trace_cache, backend="vector"
+        )
+        for spec_text in ("AT(IHRT(,8SR),PT(2^8,A2),)", "Profile", "gshare(8,A2)"):
+            assert (
+                scalar.run_one(spec_text, "eqntott").stats
+                == vector.run_one(spec_text, "eqntott").stats
+            ), spec_text
+
+
+class TestScalarFallback:
+    """Finite-HRT specs must route to the scalar engine transparently."""
+
+    @pytest.mark.parametrize("spec_text", SCALAR_ONLY_SPECS)
+    def test_not_vectorizable(self, spec_text):
+        assert not vectorizable(parse_spec(spec_text))
+
+    @pytest.mark.parametrize("spec_text", VECTOR_SPECS)
+    def test_vectorizable(self, spec_text):
+        assert vectorizable(parse_spec(spec_text))
+
+    @needs_numpy
+    def test_choose_backend_falls_back(self):
+        assert choose_backend(parse_spec(SCALAR_ONLY_SPECS[0]), "vector") == "scalar"
+        assert choose_backend(parse_spec(VECTOR_SPECS[0]), "vector") == "vector"
+
+    @needs_numpy
+    def test_kernel_refuses_finite_hrt(self, eqntott_trace):
+        with pytest.raises(KernelError):
+            simulate_spec(parse_spec(SCALAR_ONLY_SPECS[0]), eqntott_trace.packed())
+
+    @needs_numpy
+    def test_score_spec_fallback_identical(self, trace_cache, small_scale):
+        """An explicit vector request on an AHRT/HHRT spec silently scores
+        with the scalar engine and produces the scalar result."""
+        scalar = SweepRunner(
+            ["eqntott"], small_scale, trace_cache, backend="scalar"
+        )
+        vector = SweepRunner(
+            ["eqntott"], small_scale, trace_cache, backend="vector"
+        )
+        for spec_text in SCALAR_ONLY_SPECS[:2]:
+            assert (
+                scalar.run_one(spec_text, "eqntott").stats
+                == vector.run_one(spec_text, "eqntott").stats
+            ), spec_text
+
+
+class TestBackendResolution:
+    def test_choices(self):
+        assert BACKEND_CHOICES == ("auto", "scalar", "vector")
+
+    def test_scalar_always_resolves(self):
+        assert resolve_backend("scalar") == "scalar"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_backend("simd")
+
+    def test_auto_matches_numpy_presence(self):
+        assert resolve_backend("auto") == ("vector" if has_numpy() else "scalar")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "scalar")
+        assert default_backend() == "scalar"
+        assert resolve_backend(None) == "scalar"
+        monkeypatch.setenv("REPRO_BACKEND", "nonsense")
+        assert default_backend() == "auto"
+
+    def test_without_numpy(self, monkeypatch):
+        """Simulate a NumPy-less interpreter: auto degrades, explicit vector
+        errors, and score_spec still produces scalar results."""
+        from repro.sim import backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "_NUMPY", None)
+        monkeypatch.setattr(backend_mod, "_NUMPY_CHECKED", True)
+        assert not has_numpy()
+        assert resolve_backend("auto") == "scalar"
+        with pytest.raises(ConfigError):
+            resolve_backend("vector")
+        spec = parse_spec("BTFN")
+        records = [
+            BranchRecord(
+                pc=0x1000, cls=BranchClass.CONDITIONAL, taken=True, target=0x800
+            )
+        ] * 5
+        packed = pack_records(records)
+        stats = score_spec(spec, packed, backend="auto")
+        assert stats == _scalar_stats(spec, packed)

@@ -135,3 +135,47 @@ class TestSimulatePacked:
             pack_records(records),
         )
         assert dispatched == baseline
+
+
+class TestLazyDerivedColumns:
+    """The conditional-only columns are derived on first access, not in
+    ``__init__``; flag validation stays eager."""
+
+    def _packed(self):
+        return pack_records(
+            [
+                BranchRecord(0x100, BranchClass.CONDITIONAL, True, 0x80),
+                BranchRecord(0x104, BranchClass.RETURN, True, 0x200),
+                BranchRecord(0x108, BranchClass.CONDITIONAL, False, 0x90),
+            ]
+        )
+
+    def test_init_does_not_materialise(self):
+        packed = self._packed()
+        assert packed._cond_columns is None
+        # the eager count never touches the derived columns
+        assert packed.num_conditional == 2
+        assert packed._cond_columns is None
+
+    def test_access_builds_and_caches(self):
+        packed = self._packed()
+        assert packed.cond_pc == (0x100, 0x108)
+        first = packed._cond_columns
+        assert first is not None
+        assert packed.cond_taken == (True, False)
+        assert packed.cond_target == (0x80, 0x90)
+        assert packed._cond_columns is first  # one derivation, three views
+
+    def test_invalid_flags_still_raise_eagerly(self):
+        from array import array
+
+        with pytest.raises(TraceFormatError, match="invalid branch flags"):
+            PackedTrace(array("I", [1, 2]), array("I", [3, 4]), b"\x01\xff")
+
+    def test_truncated_body_reports_counts(self):
+        records = [BranchRecord(0x100, BranchClass.CONDITIONAL, True, 0x80)] * 4
+        buffer = io.BytesIO()
+        write_trace(records, buffer)
+        clipped = io.BytesIO(buffer.getvalue()[:-5])
+        with pytest.raises(TraceFormatError, match=r"promised 4 records.*complete"):
+            read_packed_trace(clipped)
