@@ -1,7 +1,7 @@
 # Common developer targets.
 PYTHON ?= python
 
-.PHONY: install test lint bench figures examples clean
+.PHONY: install test lint bench figures examples serve-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -29,6 +29,11 @@ figures:
 
 examples:
 	@for example in examples/*.py; do echo "== $$example"; $(PYTHON) $$example; done
+
+# Small end-to-end run of the prediction service: 4 concurrent sessions
+# against an in-process server, served-vs-offline parity verified.
+serve-demo:
+	PYTHONPATH=src $(PYTHON) -m repro bench-serve --sessions 4 --scale 2000 -o BENCH_serve.json
 
 clean:
 	rm -rf .trace_cache .pytest_cache .benchmarks .hypothesis

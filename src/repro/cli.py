@@ -15,6 +15,10 @@ Subcommands:
 * ``repro lint [<workload>|<file.s> ...]`` — static analysis (CFG, dataflow,
   rules R001..R008) over workload programs or assembly files; optional
   static-vs-dynamic cross-validation.  See ``docs/analysis.md``.
+* ``repro serve [--host H] [--port P] [--backend B] ...`` — run the online
+  prediction service (sessions over TCP; see ``docs/serving.md``).
+* ``repro bench-serve [--sessions N] [--scale N] ...`` — load-test an
+  in-process server and write ``BENCH_serve.json``.
 * ``repro list`` — list experiments, workloads and example spec strings.
 """
 
@@ -30,7 +34,7 @@ from repro.experiments import experiment_ids, get_experiment
 from repro.isa.assembler import assemble
 from repro.isa.cpu import CPU
 from repro.isa.disassembler import disassemble_program
-from repro.sim.backend import BACKEND_CHOICES
+from repro.sim.backend import BACKEND_CHOICES, validate_env_backend
 from repro.sim.runner import run_sweep
 from repro.trace.encoding import write_trace
 from repro.trace.text_format import write_text_trace
@@ -286,6 +290,86 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return worst
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import PredictionServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        max_connections=args.max_connections,
+        max_frame_bytes=args.max_frame_bytes,
+        read_timeout=args.read_timeout,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def _main() -> None:
+        server = PredictionServer(config)
+        await server.start()
+        server.install_signal_handlers()
+        print(
+            f"repro serve: listening on {server.host}:{server.port}"
+            f" (backend={args.backend or 'auto'},"
+            f" max_connections={config.max_connections},"
+            f" read_timeout={config.read_timeout:g}s)"
+        )
+        print("protocol: docs/serving.md; stop with SIGTERM/Ctrl-C (graceful drain)")
+        await server.wait_closed()
+        final = server.stats.as_dict(server.active_sessions)
+        print(
+            f"drained: {final['sessions_total']} session(s),"
+            f" {final['records_served']} records served"
+        )
+
+    asyncio.run(_main())
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import (
+        DEFAULT_BENCH_BENCHMARKS,
+        DEFAULT_BENCH_SPECS,
+        bench_serve,
+    )
+
+    specs = args.specs or list(DEFAULT_BENCH_SPECS)
+    benchmarks = _parse_benchmarks(args.benchmarks) or list(DEFAULT_BENCH_BENCHMARKS)
+    result = bench_serve(
+        specs=specs,
+        benchmarks=benchmarks,
+        sessions=args.sessions,
+        scale=args.scale,
+        chunk=args.chunk,
+        window=args.window,
+        backend=args.backend if args.backend != "auto" else None,
+        verify=not args.no_verify,
+        cache=_build_cache(args),
+    )
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    totals = result["totals"]
+    latency = totals["latency"]
+    print(
+        f"bench-serve: {args.sessions} session(s), {totals['records']} records in"
+        f" {totals['wall_seconds']:.3f}s = {totals['records_per_sec']:.0f} records/s"
+    )
+    print(
+        f"latency per frame: p50 {latency['p50_ms']:.2f} ms,"
+        f" p99 {latency['p99_ms']:.2f} ms (parity: {totals['parity']})"
+    )
+    for session in result["sessions"]:
+        print(
+            f"  {session['spec']:38s} {session['variant']:14s}"
+            f" [{session['backend']}] acc={session['accuracy']:.4f}"
+            f" {session['records_per_sec']:>9.0f} rec/s"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     del args
     print("Experiments:")
@@ -309,6 +393,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(
         "\nStatic analysis: repro lint [workload|file.s ...]"
         " (rules R001..R008; see docs/analysis.md)"
+    )
+    print(
+        "Serving: repro serve (online prediction sessions over TCP) and"
+        " repro bench-serve (load test + BENCH_serve.json); see docs/serving.md"
     )
     return 0
 
@@ -425,6 +513,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.set_defaults(func=_cmd_lint)
 
+    serve_parser = sub.add_parser(
+        "serve", help="run the online prediction service (docs/serving.md)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=9797, help="TCP port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="default backend for sessions that do not request one",
+    )
+    serve_parser.add_argument(
+        "--max-connections", type=int, default=64, metavar="N",
+        help="reject connections beyond this many concurrent sessions",
+    )
+    serve_parser.add_argument(
+        "--max-frame-bytes", type=int, default=1 << 20, metavar="BYTES",
+        help="drop sessions that send a larger frame",
+    )
+    serve_parser.add_argument(
+        "--read-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="drop sessions idle longer than this mid-stream",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="grace period for in-flight sessions on SIGTERM",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    bench_serve_parser = sub.add_parser(
+        "bench-serve",
+        help="load-test an in-process prediction server, write BENCH_serve.json",
+    )
+    bench_serve_parser.add_argument(
+        "--sessions", type=int, default=4, metavar="N",
+        help="concurrent predictor sessions",
+    )
+    bench_serve_parser.add_argument(
+        "--specs", nargs="*", metavar="SPEC",
+        help="predictor specs cycled across sessions (default: AT + BTFN)",
+    )
+    bench_serve_parser.add_argument(
+        "--benchmarks", help="comma-separated workload subset (default: eqntott,tomcatv)"
+    )
+    bench_serve_parser.add_argument(
+        "--scale", type=int, default=20_000,
+        help="conditional branches per workload trace",
+    )
+    bench_serve_parser.add_argument(
+        "--chunk", type=int, default=512, metavar="RECORDS",
+        help="records per RECORDS frame",
+    )
+    bench_serve_parser.add_argument(
+        "--window", type=int, default=4, metavar="FRAMES",
+        help="frames each session keeps in flight (pipelining)",
+    )
+    bench_serve_parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="backend requested by every session",
+    )
+    bench_serve_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the served-vs-offline parity check",
+    )
+    bench_serve_parser.add_argument(
+        "-o", "--output", default="BENCH_serve.json", help="result JSON path"
+    )
+    bench_serve_parser.add_argument("--cache-dir", metavar="PATH")
+    bench_serve_parser.add_argument("--no-cache", action="store_true")
+    bench_serve_parser.set_defaults(func=_cmd_bench_serve)
+
     list_parser = sub.add_parser("list", help="list experiments and workloads")
     list_parser.set_defaults(func=_cmd_list)
     return parser
@@ -434,6 +593,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        validate_env_backend()
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -63,3 +63,19 @@ class KernelError(ReproError):
     """A vectorized kernel was asked to score a spec it cannot express
     exactly (or NumPy is unavailable); callers fall back to the scalar
     engine."""
+
+
+class ProtocolError(ReproError):
+    """A prediction-service frame was malformed or violated the session
+    protocol (see :mod:`repro.serve.protocol`).
+
+    Carries a stable machine-readable ``code`` (one of
+    :data:`repro.serve.protocol.ERROR_CODES`) so clients and tests can
+    distinguish failure modes without parsing the message text.  The server
+    reports these to the offending connection as typed error frames; the
+    client raises them when such a frame arrives.
+    """
+
+    def __init__(self, message: str, code: str = "protocol"):
+        self.code = code
+        super().__init__(message)

@@ -1,0 +1,34 @@
+"""Branch prediction as a service.
+
+The serving subsystem turns the offline simulation stack into an online
+scoring service:
+
+* :mod:`repro.serve.protocol` — the length-prefixed binary wire format
+  (frames carrying YPTRACE2 branch records, prediction bytes, JSON control
+  payloads and typed errors);
+* :mod:`repro.serve.server` — the asyncio server: per-connection predictor
+  sessions resolved through the spec registry and
+  :mod:`repro.sim.backend`, micro-batched scoring per event-loop tick
+  (vector kernels with carried state where the spec allows, the scalar
+  engine otherwise), read timeouts, frame/connection limits, graceful
+  drain, and a built-in stats frame;
+* :mod:`repro.serve.client` — sync and asyncio client libraries;
+* :mod:`repro.serve.loadgen` — a concurrent-session load generator and the
+  ``repro bench-serve`` benchmark harness.
+
+Served predictions are bit-exact against the offline engine for every
+scheme: a session is a :class:`repro.sim.streaming.StreamingScorer`, whose
+chunk-by-chunk replay is the same computation the batch sweep performs.
+See ``docs/serving.md`` for the protocol specification.
+"""
+
+from repro.serve.client import AsyncPredictionClient, PredictionClient, PredictionResult
+from repro.serve.server import PredictionServer, ServerConfig
+
+__all__ = [
+    "AsyncPredictionClient",
+    "PredictionClient",
+    "PredictionResult",
+    "PredictionServer",
+    "ServerConfig",
+]

@@ -1,0 +1,243 @@
+"""Client libraries for the prediction service.
+
+:class:`AsyncPredictionClient` speaks the protocol over asyncio streams;
+:class:`PredictionClient` is its blocking twin over a plain socket for
+scripts and REPLs.  Both enforce the session state machine client-side and
+raise :class:`~repro.errors.ProtocolError` (with the server's typed error
+code) when the server reports a fault.
+
+Typical use::
+
+    with PredictionClient.connect("127.0.0.1", 9797, "BTFN") as client:
+        results = client.predict(records)          # one round trip
+        summary = client.finish()                  # final session stats
+
+``predict`` returns one entry per submitted record: a
+:class:`PredictionResult` for conditional branches, ``None`` for records
+the direction predictor does not score.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.trace.record import BranchRecord
+from repro.serve import protocol
+from repro.serve.protocol import (
+    FRAME_BYE,
+    FRAME_ERROR,
+    FRAME_HELLO,
+    FRAME_OK,
+    FRAME_PREDICTIONS,
+    FRAME_RECORDS,
+    FRAME_STATS,
+    FRAME_STATS_REQUEST,
+    FRAME_TRAIN,
+    MAX_FRAME_BYTES,
+)
+
+__all__ = ["PredictionResult", "AsyncPredictionClient", "PredictionClient"]
+
+
+class PredictionResult(NamedTuple):
+    """One scored conditional branch: the served prediction and outcome."""
+
+    predicted: bool  #: direction the session's predictor chose
+    actual: bool  #: the trace's actual outcome (echoed by the server)
+    correct: bool  #: ``predicted == actual``
+
+
+def _as_results(payload: bytes) -> "List[Optional[PredictionResult]]":
+    return [
+        None if entry is None else PredictionResult(*entry)
+        for entry in protocol.decode_predictions(payload)
+    ]
+
+
+def _raise_if_error(frame: "Optional[Tuple[int, bytes]]", expected: int) -> bytes:
+    """Validate a reply frame's type, surfacing server-reported errors."""
+    if frame is None:
+        raise ProtocolError("server closed the connection", "bad-frame")
+    frame_type, payload = frame
+    if frame_type == FRAME_ERROR:
+        error = protocol.unpack_json(payload, FRAME_ERROR)
+        raise ProtocolError(
+            str(error.get("error", "server error")), str(error.get("code", "internal"))
+        )
+    if frame_type != expected:
+        got = protocol.FRAME_NAMES.get(frame_type, str(frame_type))
+        want = protocol.FRAME_NAMES.get(expected, str(expected))
+        raise ProtocolError(f"expected {want} frame, got {got}", "bad-frame")
+    return payload
+
+
+class AsyncPredictionClient:
+    """One asyncio predictor session against a running server."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame: int = MAX_FRAME_BYTES,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self.session_info: Dict[str, Any] = {}
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        spec: str,
+        backend: Optional[str] = None,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> "AsyncPredictionClient":
+        """Open a session: TCP connect plus the HELLO/OK handshake."""
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, max_frame)
+        try:
+            await client._hello(spec, backend)
+        except BaseException:
+            await client.close()
+            raise
+        return client
+
+    async def _hello(self, spec: str, backend: Optional[str]) -> None:
+        hello: Dict[str, Any] = {"spec": spec}
+        if backend is not None:
+            hello["backend"] = backend
+        self._writer.write(protocol.pack_json(FRAME_HELLO, hello))
+        await self._writer.drain()
+        payload = _raise_if_error(await self._read(), FRAME_OK)
+        self.session_info = protocol.unpack_json(payload, FRAME_OK)
+
+    async def _read(self) -> "Optional[Tuple[int, bytes]]":
+        return await protocol.read_frame(self._reader, self._max_frame)
+
+    @property
+    def backend(self) -> Optional[str]:
+        """The backend the server resolved for this session."""
+        return self.session_info.get("backend")
+
+    async def train(self, records: Iterable[BranchRecord]) -> None:
+        """Stream profiling/training records (before the first predict)."""
+        self._writer.write(protocol.pack_records(list(records), FRAME_TRAIN))
+        await self._writer.drain()
+
+    async def predict(
+        self, records: Sequence[BranchRecord]
+    ) -> "List[Optional[PredictionResult]]":
+        """Score a chunk of the stream; one result per submitted record."""
+        self._writer.write(protocol.pack_records(records, FRAME_RECORDS))
+        await self._writer.drain()
+        payload = _raise_if_error(await self._read(), FRAME_PREDICTIONS)
+        return _as_results(payload)
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's live stats frame (server-wide + this session)."""
+        self._writer.write(protocol.pack_frame(FRAME_STATS_REQUEST))
+        await self._writer.drain()
+        payload = _raise_if_error(await self._read(), FRAME_STATS)
+        return protocol.unpack_json(payload, FRAME_STATS)
+
+    async def finish(self) -> Dict[str, Any]:
+        """End the session cleanly; returns the final stats frame."""
+        self._writer.write(protocol.pack_frame(FRAME_BYE))
+        await self._writer.drain()
+        payload = _raise_if_error(await self._read(), FRAME_STATS)
+        final = protocol.unpack_json(payload, FRAME_STATS)
+        await self.close()
+        return final
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "AsyncPredictionClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+
+class PredictionClient:
+    """Blocking predictor session over a plain socket (scripts, REPLs)."""
+
+    def __init__(self, sock: socket.socket, max_frame: int = MAX_FRAME_BYTES):
+        self._sock = sock
+        self._max_frame = max_frame
+        self.session_info: Dict[str, Any] = {}
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        spec: str,
+        backend: Optional[str] = None,
+        timeout: Optional[float] = 30.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> "PredictionClient":
+        """Open a session: TCP connect plus the HELLO/OK handshake."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        client = cls(sock, max_frame)
+        try:
+            hello: Dict[str, Any] = {"spec": spec}
+            if backend is not None:
+                hello["backend"] = backend
+            sock.sendall(protocol.pack_json(FRAME_HELLO, hello))
+            payload = _raise_if_error(client._read(), FRAME_OK)
+            client.session_info = protocol.unpack_json(payload, FRAME_OK)
+        except BaseException:
+            client.close()
+            raise
+        return client
+
+    def _read(self) -> "Optional[Tuple[int, bytes]]":
+        return protocol.read_frame_sync(self._sock.recv, self._max_frame)
+
+    @property
+    def backend(self) -> Optional[str]:
+        return self.session_info.get("backend")
+
+    def train(self, records: Iterable[BranchRecord]) -> None:
+        self._sock.sendall(protocol.pack_records(list(records), FRAME_TRAIN))
+
+    def predict(
+        self, records: Sequence[BranchRecord]
+    ) -> "List[Optional[PredictionResult]]":
+        self._sock.sendall(protocol.pack_records(records, FRAME_RECORDS))
+        payload = _raise_if_error(self._read(), FRAME_PREDICTIONS)
+        return _as_results(payload)
+
+    def stats(self) -> Dict[str, Any]:
+        self._sock.sendall(protocol.pack_frame(FRAME_STATS_REQUEST))
+        payload = _raise_if_error(self._read(), FRAME_STATS)
+        return protocol.unpack_json(payload, FRAME_STATS)
+
+    def finish(self) -> Dict[str, Any]:
+        self._sock.sendall(protocol.pack_frame(FRAME_BYE))
+        payload = _raise_if_error(self._read(), FRAME_STATS)
+        final = protocol.unpack_json(payload, FRAME_STATS)
+        self.close()
+        return final
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

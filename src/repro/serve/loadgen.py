@@ -1,0 +1,364 @@
+"""Load generator and benchmark harness for the prediction service.
+
+``run_loadgen`` drives N concurrent predictor sessions against a server,
+each replaying a workload variant's branch records in fixed-size chunks
+with a configurable pipelining window (several RECORDS frames in flight
+per connection — this is what makes the server's per-tick micro-batching
+visible), and reports aggregate throughput plus per-frame latency
+percentiles.
+
+``bench_serve`` is the ``repro bench-serve`` engine: it generates the
+workload traces, starts an in-process server on an ephemeral port, fans
+out the sessions, optionally verifies every session's served statistics
+bit-exactly against the offline engine, and returns the
+``BENCH_serve.json`` payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError, ReproError
+from repro.predictors.spec import parse_spec
+from repro.sim.kernels import score_spec
+from repro.sim.streaming import needs_training
+from repro.trace.record import BranchRecord
+from repro.workloads.base import TraceCache, default_cache, get_workload
+from repro.serve import protocol
+from repro.serve.protocol import (
+    FRAME_HELLO,
+    FRAME_OK,
+    FRAME_PREDICTIONS,
+    FRAME_RECORDS,
+    FRAME_STATS,
+    FRAME_TRAIN,
+)
+from repro.serve.server import PredictionServer, ServerConfig
+
+__all__ = ["SessionPlan", "SessionOutcome", "run_loadgen", "bench_serve"]
+
+#: default predictor specs exercised by ``repro bench-serve`` — one
+#: vector-kernel session and one stateless scheme per workload variant.
+DEFAULT_BENCH_SPECS = ("AT(IHRT(,6SR),PT(2^6,A2),)", "BTFN")
+
+DEFAULT_BENCH_BENCHMARKS = ("eqntott", "tomcatv")
+
+
+@dataclass
+class SessionPlan:
+    """One loadgen session: a spec replaying one workload variant."""
+
+    spec: str
+    variant: str  #: display label, e.g. ``eqntott:test``
+    records: List[BranchRecord]
+    training: Optional[List[BranchRecord]] = None
+    backend: Optional[str] = None
+
+
+@dataclass
+class SessionOutcome:
+    """What one session measured."""
+
+    plan: SessionPlan
+    backend: Optional[str] = None
+    records_sent: int = 0
+    frames: int = 0
+    conditional: int = 0
+    correct: int = 0
+    accuracy: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    latencies: List[float] = field(default_factory=list)  #: per-frame seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        return max(self.finished - self.started, 1e-9)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = int(round(q * (len(sorted_values) - 1)))
+    return sorted_values[min(index, len(sorted_values) - 1)]
+
+
+def _latency_summary(latencies: Sequence[float]) -> Dict[str, float]:
+    ordered = sorted(latencies)
+    to_ms = 1e3
+    return {
+        "p50_ms": round(_percentile(ordered, 0.50) * to_ms, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * to_ms, 3),
+        "max_ms": round((ordered[-1] if ordered else 0.0) * to_ms, 3),
+        "mean_ms": round(
+            (sum(ordered) / len(ordered) if ordered else 0.0) * to_ms, 3
+        ),
+    }
+
+
+async def _run_session(
+    host: str, port: int, plan: SessionPlan, chunk: int, window: int
+) -> SessionOutcome:
+    """Replay one plan: pipelined RECORDS frames, per-frame latency."""
+    outcome = SessionOutcome(plan=plan)
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        hello: Dict[str, Any] = {"spec": plan.spec}
+        if plan.backend is not None:
+            hello["backend"] = plan.backend
+        writer.write(protocol.pack_json(FRAME_HELLO, hello))
+        await writer.drain()
+        frame = await protocol.read_frame(reader)
+        payload = _expect(frame, FRAME_OK)
+        outcome.backend = protocol.unpack_json(payload, FRAME_OK).get("backend")
+
+        if plan.training:
+            for start in range(0, len(plan.training), chunk):
+                writer.write(
+                    protocol.pack_records(plan.training[start:start + chunk], FRAME_TRAIN)
+                )
+            await writer.drain()
+
+        chunks = [
+            plan.records[start:start + chunk]
+            for start in range(0, len(plan.records), chunk)
+        ]
+        outcome.started = time.perf_counter()
+        send_times: "deque[Tuple[float, int]]" = deque()
+        next_chunk = 0
+
+        async def _collect_one() -> None:
+            reply = await protocol.read_frame(reader)
+            body = _expect(reply, FRAME_PREDICTIONS)
+            sent_at, size = send_times.popleft()
+            outcome.latencies.append(time.perf_counter() - sent_at)
+            if len(body) != size:
+                raise ProtocolError(
+                    f"PREDICTIONS size {len(body)} != {size} records sent", "bad-frame"
+                )
+            for byte in body:
+                if not byte & protocol.PRED_SKIPPED:
+                    outcome.conditional += 1
+                    if byte & protocol.PRED_CORRECT:
+                        outcome.correct += 1
+
+        while next_chunk < len(chunks) or send_times:
+            if next_chunk < len(chunks) and len(send_times) < window:
+                batch = chunks[next_chunk]
+                next_chunk += 1
+                send_times.append((time.perf_counter(), len(batch)))
+                writer.write(protocol.pack_records(batch, FRAME_RECORDS))
+                await writer.drain()
+                outcome.records_sent += len(batch)
+                outcome.frames += 1
+            else:
+                await _collect_one()
+        outcome.finished = time.perf_counter()
+
+        writer.write(protocol.pack_frame(protocol.FRAME_BYE))
+        await writer.drain()
+        final = _expect(await protocol.read_frame(reader), FRAME_STATS)
+        session = protocol.unpack_json(final, FRAME_STATS).get("session", {})
+        outcome.accuracy = float(session.get("accuracy", 0.0))
+        server_conditional = int(session.get("conditional", -1))
+        server_correct = int(session.get("correct", -1))
+        if (server_conditional, server_correct) != (outcome.conditional, outcome.correct):
+            raise ProtocolError(
+                f"session summary {server_conditional}/{server_correct} disagrees with"
+                f" the prediction bytes {outcome.conditional}/{outcome.correct}",
+                "internal",
+            )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+    return outcome
+
+
+def _expect(frame: "Optional[Tuple[int, bytes]]", expected: int) -> bytes:
+    if frame is None:
+        raise ProtocolError("server closed the connection", "bad-frame")
+    frame_type, payload = frame
+    if frame_type == protocol.FRAME_ERROR:
+        error = protocol.unpack_json(payload, protocol.FRAME_ERROR)
+        raise ProtocolError(
+            str(error.get("error", "server error")), str(error.get("code", "internal"))
+        )
+    if frame_type != expected:
+        raise ProtocolError(
+            f"expected frame {expected}, got {frame_type}", "bad-frame"
+        )
+    return payload
+
+
+async def run_loadgen_async(
+    host: str,
+    port: int,
+    plans: Sequence[SessionPlan],
+    chunk: int = 512,
+    window: int = 4,
+) -> "List[SessionOutcome]":
+    """Run every plan concurrently against ``host:port``."""
+    return list(
+        await asyncio.gather(
+            *(_run_session(host, port, plan, chunk, window) for plan in plans)
+        )
+    )
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    plans: Sequence[SessionPlan],
+    chunk: int = 512,
+    window: int = 4,
+) -> "List[SessionOutcome]":
+    """Blocking wrapper for driving an externally-started server."""
+    return asyncio.run(run_loadgen_async(host, port, plans, chunk, window))
+
+
+# ----------------------------------------------------------------------
+# the `repro bench-serve` engine
+# ----------------------------------------------------------------------
+def _build_plans(
+    specs: Sequence[str],
+    benchmarks: Sequence[str],
+    sessions: int,
+    scale: int,
+    cache: TraceCache,
+    backend: Optional[str],
+) -> "List[SessionPlan]":
+    """Round-robin (spec x benchmark) over the requested session count."""
+    variants: "List[Tuple[str, str, List[BranchRecord]]]" = []
+    for name in benchmarks:
+        workload = get_workload(name)
+        records = cache.get(workload, "test", scale).records
+        variants.append((name, f"{name}:test", records))
+    plans: "List[SessionPlan]" = []
+    for index in range(sessions):
+        spec_text = specs[index % len(specs)]
+        _name, label, records = variants[(index // len(specs)) % len(variants)]
+        parsed = parse_spec(spec_text)
+        training = list(records) if needs_training(parsed) else None
+        plans.append(
+            SessionPlan(
+                spec=spec_text,
+                variant=label,
+                records=list(records),
+                training=training,
+                backend=backend,
+            )
+        )
+    return plans
+
+
+def _verify_outcomes(outcomes: Sequence[SessionOutcome]) -> None:
+    """Served statistics must equal the offline engine's, bit for bit."""
+    from repro.trace.columnar import pack_records
+
+    for outcome in outcomes:
+        plan = outcome.plan
+        spec = parse_spec(plan.spec)
+        packed = pack_records(plan.records)
+        training_packed = (
+            pack_records(plan.training) if plan.training is not None else None
+        )
+        offline = score_spec(
+            spec,
+            packed,
+            backend=plan.backend,
+            training=training_packed,
+            training_records=plan.training,
+        )
+        if (offline.conditional_total, offline.conditional_correct) != (
+            outcome.conditional,
+            outcome.correct,
+        ):
+            raise ReproError(
+                f"parity failure for {plan.spec} on {plan.variant}: served"
+                f" {outcome.correct}/{outcome.conditional}, offline"
+                f" {offline.conditional_correct}/{offline.conditional_total}"
+            )
+
+
+def bench_serve(
+    specs: Sequence[str] = DEFAULT_BENCH_SPECS,
+    benchmarks: Sequence[str] = DEFAULT_BENCH_BENCHMARKS,
+    sessions: int = 4,
+    scale: int = 20_000,
+    chunk: int = 512,
+    window: int = 4,
+    backend: Optional[str] = None,
+    verify: bool = True,
+    cache: Optional[TraceCache] = None,
+    server_config: Optional[ServerConfig] = None,
+) -> Dict[str, Any]:
+    """Benchmark an in-process server; returns the BENCH_serve payload.
+
+    Starts a server on an ephemeral loopback port, replays ``sessions``
+    concurrent predictor sessions over the workload traces, and (with
+    ``verify``) checks every session's served accuracy statistics against
+    the offline engine — a failed parity check raises.
+    """
+    cache = cache if cache is not None else default_cache()
+    plans = _build_plans(specs, benchmarks, sessions, scale, cache, backend)
+
+    async def _run() -> "Tuple[List[SessionOutcome], Dict[str, Any]]":
+        server = PredictionServer(server_config or ServerConfig())
+        await server.start()
+        try:
+            outcomes = await run_loadgen_async(
+                server.host, server.port, plans, chunk, window
+            )
+        finally:
+            await server.stop()
+        return outcomes, server.stats.as_dict(server.active_sessions)
+
+    outcomes, server_stats = asyncio.run(_run())
+    if verify:
+        _verify_outcomes(outcomes)
+
+    all_latencies = [value for outcome in outcomes for value in outcome.latencies]
+    started = min(outcome.started for outcome in outcomes)
+    finished = max(outcome.finished for outcome in outcomes)
+    wall = max(finished - started, 1e-9)
+    total_records = sum(outcome.records_sent for outcome in outcomes)
+    return {
+        "config": {
+            "sessions": sessions,
+            "specs": list(specs),
+            "benchmarks": list(benchmarks),
+            "scale": scale,
+            "chunk": chunk,
+            "window": window,
+            "backend": backend or "auto",
+        },
+        "sessions": [
+            {
+                "spec": outcome.plan.spec,
+                "variant": outcome.plan.variant,
+                "backend": outcome.backend,
+                "records": outcome.records_sent,
+                "frames": outcome.frames,
+                "conditional": outcome.conditional,
+                "correct": outcome.correct,
+                "accuracy": round(outcome.accuracy, 6),
+                "records_per_sec": round(outcome.records_sent / outcome.wall_seconds, 1),
+                "latency": _latency_summary(outcome.latencies),
+            }
+            for outcome in outcomes
+        ],
+        "totals": {
+            "records": total_records,
+            "wall_seconds": round(wall, 4),
+            "records_per_sec": round(total_records / wall, 1),
+            "latency": _latency_summary(all_latencies),
+            "parity": "verified" if verify else "skipped",
+        },
+        "server": server_stats,
+    }

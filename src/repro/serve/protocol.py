@@ -1,0 +1,284 @@
+"""Wire protocol for the prediction service.
+
+Every message is a *frame*::
+
+    uint32 length   (little-endian, size of the payload in bytes)
+    uint8  type     (FRAME_* constant)
+    bytes  payload  (length bytes)
+
+Record-bearing frames (``TRAIN``, ``RECORDS``) carry a whole number of
+9-byte YPTRACE2 records — exactly the on-disk record layout of
+:mod:`repro.trace.encoding` (``encode_record`` / ``decode_record``), so a
+binary trace file body can be streamed to the server unmodified.
+
+``PREDICTIONS`` answers a ``RECORDS`` frame with one byte per submitted
+record:
+
+* ``PRED_SKIPPED`` (0x80) — the record was not a conditional branch, so the
+  direction predictor did not score it;
+* otherwise a combination of ``PRED_TAKEN`` (predicted direction),
+  ``PRED_ACTUAL`` (the trace's actual outcome, echoed) and ``PRED_CORRECT``.
+
+Control frames (``HELLO``, ``OK``, ``STATS``, ``ERROR``) carry UTF-8 JSON
+objects.  ``ERROR`` payloads are ``{"code": <ERROR_CODES entry>,
+"error": <message>}`` and map onto :class:`repro.errors.ProtocolError`.
+
+The session state machine (enforced by the server, mirrored by the
+clients)::
+
+    connect -> HELLO -> OK -> [TRAIN ...] -> {RECORDS -> PREDICTIONS}* -> BYE -> STATS -> close
+                                  (STATS_REQUEST -> STATS anywhere after OK)
+
+Any protocol violation earns the connection a single ``ERROR`` frame and a
+close; other sessions are unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError, TraceFormatError
+from repro.trace.encoding import RECORD_SIZE, decode_record, encode_record
+from repro.trace.record import BranchRecord
+
+__all__ = [
+    "FRAME_HELLO",
+    "FRAME_OK",
+    "FRAME_TRAIN",
+    "FRAME_RECORDS",
+    "FRAME_PREDICTIONS",
+    "FRAME_STATS_REQUEST",
+    "FRAME_STATS",
+    "FRAME_BYE",
+    "FRAME_ERROR",
+    "FRAME_NAMES",
+    "ERROR_CODES",
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "PRED_TAKEN",
+    "PRED_ACTUAL",
+    "PRED_CORRECT",
+    "PRED_SKIPPED",
+    "pack_frame",
+    "pack_json",
+    "pack_error",
+    "pack_records",
+    "unpack_records",
+    "unpack_json",
+    "encode_predictions",
+    "decode_predictions",
+    "read_frame",
+    "read_frame_sync",
+]
+
+#: frame header: payload length + frame type.
+HEADER = struct.Struct("<IB")
+
+#: default cap on a single frame's payload (server and client enforce it).
+MAX_FRAME_BYTES = 1 << 20
+
+FRAME_HELLO = 1
+FRAME_OK = 2
+FRAME_TRAIN = 3
+FRAME_RECORDS = 4
+FRAME_PREDICTIONS = 5
+FRAME_STATS_REQUEST = 6
+FRAME_STATS = 7
+FRAME_BYE = 8
+FRAME_ERROR = 9
+
+FRAME_NAMES: Dict[int, str] = {
+    FRAME_HELLO: "HELLO",
+    FRAME_OK: "OK",
+    FRAME_TRAIN: "TRAIN",
+    FRAME_RECORDS: "RECORDS",
+    FRAME_PREDICTIONS: "PREDICTIONS",
+    FRAME_STATS_REQUEST: "STATS_REQUEST",
+    FRAME_STATS: "STATS",
+    FRAME_BYE: "BYE",
+    FRAME_ERROR: "ERROR",
+}
+
+#: stable machine-readable error codes carried by ERROR frames.
+ERROR_CODES = (
+    "bad-frame",        # unknown type, truncated payload, bad record bytes
+    "frame-too-large",  # payload length exceeds the server's frame cap
+    "bad-hello",        # HELLO payload unparseable or missing fields
+    "bad-spec",         # predictor spec string rejected by the registry
+    "bad-backend",      # backend name unknown or unavailable
+    "protocol",         # frame legal but out of order for the session state
+    "timeout",          # connection idle past the server's read timeout
+    "busy",             # server at its max-connections limit
+    "internal",         # unexpected server-side failure
+)
+
+# prediction byte flags
+PRED_TAKEN = 0x01
+PRED_ACTUAL = 0x02
+PRED_CORRECT = 0x04
+PRED_SKIPPED = 0x80
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def pack_frame(frame_type: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header + payload."""
+    return HEADER.pack(len(payload), frame_type) + payload
+
+
+def pack_json(frame_type: int, obj: Any) -> bytes:
+    return pack_frame(frame_type, json.dumps(obj, sort_keys=True).encode("utf-8"))
+
+
+def pack_error(code: str, message: str) -> bytes:
+    """A typed ERROR frame (``code`` must be an :data:`ERROR_CODES` entry)."""
+    return pack_json(FRAME_ERROR, {"code": code, "error": message})
+
+
+def unpack_json(payload: bytes, frame_type: int) -> Dict[str, Any]:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        name = FRAME_NAMES.get(frame_type, str(frame_type))
+        raise ProtocolError(f"{name} payload is not valid JSON: {exc}", "bad-frame") from exc
+    if not isinstance(obj, dict):
+        name = FRAME_NAMES.get(frame_type, str(frame_type))
+        raise ProtocolError(f"{name} payload must be a JSON object", "bad-frame")
+    return obj
+
+
+def pack_records(
+    records: Sequence[BranchRecord], frame_type: int = FRAME_RECORDS
+) -> bytes:
+    """A TRAIN/RECORDS frame carrying ``records`` in YPTRACE2 layout."""
+    return pack_frame(frame_type, b"".join(encode_record(record) for record in records))
+
+
+def unpack_records(payload: bytes) -> List[BranchRecord]:
+    """Decode a record frame's payload; raises :class:`ProtocolError` (code
+    ``bad-frame``) when the payload is not whole valid records."""
+    if len(payload) % RECORD_SIZE:
+        raise ProtocolError(
+            f"record payload of {len(payload)} bytes is not a multiple of the"
+            f" {RECORD_SIZE}-byte record size",
+            "bad-frame",
+        )
+    try:
+        return [
+            decode_record(payload, offset)
+            for offset in range(0, len(payload), RECORD_SIZE)
+        ]
+    except TraceFormatError as exc:
+        raise ProtocolError(f"bad record in frame: {exc}", "bad-frame") from exc
+
+
+# ----------------------------------------------------------------------
+# prediction bytes
+# ----------------------------------------------------------------------
+def encode_predictions(
+    records: Sequence[BranchRecord], predictions: Sequence[Optional[bool]]
+) -> bytes:
+    """One response byte per record from a scorer's prediction list."""
+    out = bytearray(len(records))
+    for index, (record, prediction) in enumerate(zip(records, predictions)):
+        if prediction is None:
+            out[index] = PRED_SKIPPED
+        else:
+            byte = PRED_TAKEN if prediction else 0
+            if record.taken:
+                byte |= PRED_ACTUAL
+            if prediction == record.taken:
+                byte |= PRED_CORRECT
+            out[index] = byte
+    return bytes(out)
+
+
+def decode_predictions(payload: bytes) -> "List[Optional[Tuple[bool, bool, bool]]]":
+    """Inverse of :func:`encode_predictions`: ``(predicted, actual,
+    correct)`` per scored record, ``None`` for skipped records."""
+    out: "List[Optional[Tuple[bool, bool, bool]]]" = []
+    for byte in payload:
+        if byte & PRED_SKIPPED:
+            out.append(None)
+        else:
+            out.append(
+                (bool(byte & PRED_TAKEN), bool(byte & PRED_ACTUAL), bool(byte & PRED_CORRECT))
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# frame readers
+# ----------------------------------------------------------------------
+def _check_length(length: int, max_frame: int) -> None:
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame payload of {length} bytes exceeds the {max_frame}-byte limit",
+            "frame-too-large",
+        )
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> "Optional[Tuple[int, bytes]]":
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`ProtocolError` on a truncated frame or one whose payload
+    exceeds ``max_frame`` (the payload is *not* read in that case — the
+    caller must drop the connection).
+    """
+    header = await reader.read(HEADER.size)
+    if not header:
+        return None
+    while len(header) < HEADER.size:
+        more = await reader.read(HEADER.size - len(header))
+        if not more:
+            raise ProtocolError("connection closed mid frame header", "bad-frame")
+        header += more
+    length, frame_type = HEADER.unpack(header)
+    _check_length(length, max_frame)
+    try:
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid frame: expected {length} payload bytes,"
+            f" got {len(exc.partial)}",
+            "bad-frame",
+        ) from exc
+    return frame_type, payload
+
+
+def read_frame_sync(
+    read: Any, max_frame: int = MAX_FRAME_BYTES
+) -> "Optional[Tuple[int, bytes]]":
+    """Blocking twin of :func:`read_frame` over a ``read(n)`` callable (e.g.
+    ``socket.makefile('rb').read``)."""
+
+    def read_exact(n: int) -> bytes:
+        chunks = b""
+        while len(chunks) < n:
+            piece = read(n - len(chunks))
+            if not piece:
+                return chunks
+            chunks += piece
+        return chunks
+
+    header = read_exact(HEADER.size)
+    if not header:
+        return None
+    if len(header) < HEADER.size:
+        raise ProtocolError("connection closed mid frame header", "bad-frame")
+    length, frame_type = HEADER.unpack(header)
+    _check_length(length, max_frame)
+    payload = read_exact(length) if length else b""
+    if len(payload) < length:
+        raise ProtocolError(
+            f"connection closed mid frame: expected {length} payload bytes,"
+            f" got {len(payload)}",
+            "bad-frame",
+        )
+    return frame_type, payload

@@ -1,0 +1,488 @@
+"""The asyncio prediction server.
+
+One TCP connection is one *predictor session*: the client's HELLO names a
+Table 2 predictor spec (resolved through the ordinary registry) and an
+optional backend request (resolved through :mod:`repro.sim.backend`); the
+server then scores every RECORDS frame the connection sends against that
+session's live predictor state and answers with per-record prediction
+bytes.  Sessions are fully isolated — each owns a
+:class:`~repro.sim.streaming.StreamingScorer`, so vectorizable specs run on
+the carried-state NumPy kernels while AHRT/HHRT (and NumPy-less hosts)
+fall back to the scalar engine, bit-exactly either way.
+
+**Micro-batching.**  A session's frames are decoded by a reader task and
+scored by a per-connection scorer task connected by a bounded queue.  The
+scorer drains *everything* queued when it wakes — all RECORDS frames that
+arrived during the previous event-loop tick — and scores them as one
+batch, then answers each frame with its slice of the predictions.  Under
+load the batches grow and the vector kernels amortise; when idle the batch
+is a single frame and latency stays at one round trip.  The bounded queue
+gives natural backpressure: a slow scorer stops the reader, which stops
+the TCP window.
+
+**Robustness.**  Malformed frames, oversized frames, protocol violations,
+bad specs/backends and read timeouts each earn the *offending connection*
+one typed ERROR frame and a close; the server and every other session keep
+running.  A connection limit rejects surplus clients with ``busy``.
+``stop()`` (installed on SIGTERM/SIGINT by
+:meth:`PredictionServer.install_signal_handlers`) stops accepting, drains
+in-flight sessions for a grace period, then cancels stragglers.  The
+STATS_REQUEST frame exposes live counters — sessions, records served, the
+micro-batch size histogram and per-scheme scoring latency — so the service
+is observable with nothing but a client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError, ProtocolError, ReproError, SpecParseError
+from repro.predictors.spec import PredictorSpec, parse_spec
+from repro.sim.kernels import choose_backend
+from repro.sim.streaming import StreamingScorer, make_scorer, needs_training
+from repro.trace.record import BranchRecord
+from repro.serve import protocol
+from repro.serve.protocol import (
+    FRAME_BYE,
+    FRAME_HELLO,
+    FRAME_OK,
+    FRAME_PREDICTIONS,
+    FRAME_RECORDS,
+    FRAME_STATS,
+    FRAME_STATS_REQUEST,
+    FRAME_TRAIN,
+    MAX_FRAME_BYTES,
+)
+
+__all__ = ["ServerConfig", "ServeStats", "PredictionServer"]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of a :class:`PredictionServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; the bound port is ``server.port``
+    backend: Optional[str] = None  #: session default; None = process default
+    max_connections: int = 64
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    read_timeout: float = 30.0  #: seconds a session may sit idle mid-stream
+    drain_timeout: float = 10.0  #: grace period for in-flight sessions on stop
+    queue_frames: int = 64  #: per-session frame backlog before backpressure
+
+
+class ServeStats:
+    """Server-wide counters reported by the STATS frame."""
+
+    def __init__(self) -> None:
+        self.sessions_total = 0
+        self.records_served = 0
+        self.frames = 0
+        self.errors = 0
+        #: micro-batch size histogram, keyed by power-of-two bucket ceiling.
+        self.batch_sizes: Dict[int, int] = {}
+        #: per-scheme scoring cost: batches, records, seconds.
+        self.schemes: Dict[str, Dict[str, float]] = {}
+
+    def record_batch(self, scheme: str, size: int, seconds: float) -> None:
+        bucket = 1 << max(size - 1, 0).bit_length()
+        self.batch_sizes[bucket] = self.batch_sizes.get(bucket, 0) + 1
+        entry = self.schemes.setdefault(
+            scheme, {"batches": 0, "records": 0, "seconds": 0.0}
+        )
+        entry["batches"] += 1
+        entry["records"] += size
+        entry["seconds"] += seconds
+        self.records_served += size
+
+    def as_dict(self, active_sessions: int) -> Dict[str, Any]:
+        schemes = {}
+        for scheme, entry in sorted(self.schemes.items()):
+            mean_us = (
+                1e6 * entry["seconds"] / entry["batches"] if entry["batches"] else 0.0
+            )
+            schemes[scheme] = {
+                "batches": int(entry["batches"]),
+                "records": int(entry["records"]),
+                "seconds": round(entry["seconds"], 6),
+                "mean_batch_us": round(mean_us, 1),
+            }
+        return {
+            "active_sessions": active_sessions,
+            "sessions_total": self.sessions_total,
+            "records_served": self.records_served,
+            "frames": self.frames,
+            "errors": self.errors,
+            "batch_size_histogram": {
+                str(bucket): count for bucket, count in sorted(self.batch_sizes.items())
+            },
+            "schemes": schemes,
+        }
+
+
+@dataclass
+class _Session:
+    """Per-connection predictor session state."""
+
+    session_id: int
+    backend_request: Optional[str] = None
+    spec: Optional[PredictorSpec] = None
+    resolved_backend: Optional[str] = None
+    scorer: Optional[StreamingScorer] = None
+    training: List[BranchRecord] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        stats = self.scorer.stats if self.scorer is not None else None
+        return {
+            "session": self.session_id,
+            "scheme": self.spec.canonical() if self.spec is not None else None,
+            "backend": self.resolved_backend,
+            "conditional": stats.conditional_total if stats else 0,
+            "correct": stats.conditional_correct if stats else 0,
+            "accuracy": stats.accuracy if stats else 0.0,
+        }
+
+
+# scorer-queue sentinels
+_STATS = ("stats",)
+_BYE = ("bye",)
+
+
+class PredictionServer:
+    """Serve branch-prediction sessions over TCP (see module docstring)."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.stats = ServeStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "Set[asyncio.Task]" = set()
+        self._next_session = 0
+        self._stopping = False
+        self._closed = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with the ephemeral default)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._connections)
+
+    def install_signal_handlers(self) -> None:
+        """Arrange a graceful drain on SIGTERM / SIGINT."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.stop())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # e.g. non-Unix event loops
+
+    async def wait_closed(self) -> None:
+        """Block until :meth:`stop` has completed (e.g. via SIGTERM)."""
+        await self._closed.wait()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight sessions, then shut down.
+
+        ``drain=True`` gives active sessions ``config.drain_timeout``
+        seconds to finish their streams before cancellation; ``False``
+        cancels immediately.
+        """
+        if self._stopping:
+            await self._closed.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = set(self._connections)
+        if pending and drain:
+            _done, pending = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout
+            )
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._closed.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        if len(self._connections) >= self.config.max_connections or self._stopping:
+            self.stats.errors += 1
+            await self._send_error(
+                writer, "busy", f"server at its {self.config.max_connections}-connection limit"
+            )
+            await self._close_writer(writer)
+            return
+        self._connections.add(task)
+        self._next_session += 1
+        self.stats.sessions_total += 1
+        session = _Session(
+            session_id=self._next_session, backend_request=self.config.backend
+        )
+        queue: "asyncio.Queue[Tuple[Any, ...]]" = asyncio.Queue(
+            maxsize=self.config.queue_frames
+        )
+        scorer_task = asyncio.create_task(self._score_loop(session, queue, writer))
+        try:
+            await self._read_loop(session, queue, reader, writer, scorer_task)
+        except asyncio.CancelledError:
+            pass  # server shutdown cancelled this connection; end quietly
+        finally:
+            if not scorer_task.done():
+                scorer_task.cancel()
+            try:
+                await asyncio.gather(scorer_task, return_exceptions=True)
+                await self._close_writer(writer)
+            except asyncio.CancelledError:
+                writer.close()
+            self._connections.discard(task)
+
+    async def _read_loop(
+        self,
+        session: _Session,
+        queue: "asyncio.Queue[Tuple[Any, ...]]",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        scorer_task: "asyncio.Task",
+    ) -> None:
+        """Decode frames and feed the session's scorer queue.
+
+        Every exit path of this coroutine closes only this session; typed
+        errors are reported to the client before the close.
+        """
+        try:
+            while True:
+                try:
+                    frame = await asyncio.wait_for(
+                        protocol.read_frame(reader, self.config.max_frame_bytes),
+                        timeout=self.config.read_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    self.stats.errors += 1
+                    await self._send_error(
+                        writer,
+                        "timeout",
+                        f"no frame within the {self.config.read_timeout:g}s read timeout",
+                    )
+                    return
+                if frame is None:  # client closed (mid-stream disconnect is fine)
+                    return
+                if scorer_task.done():  # scoring failed; surface and stop
+                    return
+                frame_type, payload = frame
+                self.stats.frames += 1
+                if frame_type == FRAME_HELLO:
+                    self._handle_hello(session, payload)
+                    spec = session.spec
+                    assert spec is not None  # _handle_hello set it or raised
+                    ok = {
+                        "session": session.session_id,
+                        "scheme": spec.canonical(),
+                        "backend": session.resolved_backend,
+                        "needs_training": needs_training(spec),
+                    }
+                    writer.write(protocol.pack_json(FRAME_OK, ok))
+                    await writer.drain()
+                elif frame_type == FRAME_TRAIN:
+                    self._require_hello(session)
+                    if session.scorer is not None:
+                        raise ProtocolError(
+                            "TRAIN after the first RECORDS frame", "protocol"
+                        )
+                    session.training.extend(protocol.unpack_records(payload))
+                elif frame_type == FRAME_RECORDS:
+                    self._require_hello(session)
+                    records = protocol.unpack_records(payload)
+                    if session.scorer is None:
+                        session.scorer = self._build_scorer(session)
+                    await queue.put(("records", records))
+                elif frame_type == FRAME_STATS_REQUEST:
+                    self._require_hello(session)
+                    await queue.put(_STATS)
+                elif frame_type == FRAME_BYE:
+                    await queue.put(_BYE)
+                    await asyncio.wait_for(scorer_task, timeout=None)
+                    return
+                else:
+                    name = protocol.FRAME_NAMES.get(frame_type, str(frame_type))
+                    raise ProtocolError(
+                        f"unexpected frame type {name} from client", "bad-frame"
+                    )
+        except ProtocolError as exc:
+            self.stats.errors += 1
+            await self._send_error(writer, exc.code, str(exc))
+        except SpecParseError as exc:
+            self.stats.errors += 1
+            await self._send_error(writer, "bad-spec", str(exc))
+        except ConfigError as exc:
+            self.stats.errors += 1
+            await self._send_error(writer, "bad-backend", str(exc))
+        except ReproError as exc:
+            self.stats.errors += 1
+            await self._send_error(writer, "internal", str(exc))
+        except (ConnectionResetError, BrokenPipeError):
+            return  # mid-stream disconnect; nothing to report to anyone
+
+    # ------------------------------------------------------------------
+    def _handle_hello(self, session: _Session, payload: bytes) -> None:
+        if session.spec is not None:
+            raise ProtocolError("duplicate HELLO", "protocol")
+        hello = protocol.unpack_json(payload, FRAME_HELLO)
+        spec_text = hello.get("spec")
+        if not isinstance(spec_text, str) or not spec_text:
+            raise ProtocolError("HELLO must carry a 'spec' string", "bad-hello")
+        spec = parse_spec(spec_text)  # SpecParseError -> bad-spec
+        backend = hello.get("backend", None)
+        if backend is not None and not isinstance(backend, str):
+            raise ProtocolError("HELLO 'backend' must be a string", "bad-hello")
+        if backend is None:
+            backend = session.backend_request
+        # resolve now so an impossible request fails the handshake, not the
+        # first RECORDS frame; ConfigError -> bad-backend
+        session.resolved_backend = choose_backend(spec, backend)
+        session.backend_request = backend
+        session.spec = spec
+
+    @staticmethod
+    def _require_hello(session: _Session) -> None:
+        if session.spec is None:
+            raise ProtocolError("frame before HELLO", "protocol")
+
+    def _build_scorer(self, session: _Session) -> StreamingScorer:
+        assert session.spec is not None
+        training = session.training if session.training else None
+        if needs_training(session.spec) and training is None:
+            raise ProtocolError(
+                f"{session.spec.canonical()} sessions need TRAIN frames before RECORDS",
+                "protocol",
+            )
+        scorer = make_scorer(session.spec, session.backend_request, training)
+        session.training = []  # the scorer owns them now; free the buffer
+        return scorer
+
+    # ------------------------------------------------------------------
+    async def _score_loop(
+        self,
+        session: _Session,
+        queue: "asyncio.Queue[Tuple[Any, ...]]",
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Drain the queue in micro-batches and answer each frame in order."""
+        try:
+            finished = False
+            while not finished:
+                items = [await queue.get()]
+                while True:  # everything already queued = this micro-batch
+                    try:
+                        items.append(queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                pending_frames: List[List[BranchRecord]] = []
+                for item in items:
+                    if item[0] == "records":
+                        pending_frames.append(item[1])
+                        continue
+                    await self._flush_frames(session, pending_frames, writer)
+                    pending_frames = []
+                    if item[0] == "stats":
+                        writer.write(
+                            protocol.pack_json(FRAME_STATS, self._stats_payload(session))
+                        )
+                    else:  # bye: final stats, then end the session
+                        payload = self._stats_payload(session)
+                        payload["final"] = True
+                        writer.write(protocol.pack_json(FRAME_STATS, payload))
+                        finished = True
+                        break
+                await self._flush_frames(session, pending_frames, writer)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            # The client went away mid-answer.  Keep draining the queue so a
+            # reader blocked on a full queue can run, notice EOF and exit;
+            # it cancels this task on its way out.
+            while True:
+                if (await queue.get())[0] == "bye":
+                    return
+
+    async def _flush_frames(
+        self,
+        session: _Session,
+        frames: List[List[BranchRecord]],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Score queued RECORDS frames as one batch; answer each in order."""
+        if not frames:
+            return
+        scorer = session.scorer
+        assert scorer is not None and session.spec is not None
+        if len(frames) == 1:
+            merged = frames[0]
+        else:
+            merged = [record for frame in frames for record in frame]
+        started = time.perf_counter()
+        predictions = scorer.feed(merged)
+        elapsed = time.perf_counter() - started
+        self.stats.record_batch(session.spec.canonical(), len(merged), elapsed)
+        offset = 0
+        for frame in frames:
+            frame_predictions = predictions[offset : offset + len(frame)]
+            offset += len(frame)
+            writer.write(
+                protocol.pack_frame(
+                    FRAME_PREDICTIONS,
+                    protocol.encode_predictions(frame, frame_predictions),
+                )
+            )
+
+    def _stats_payload(self, session: _Session) -> Dict[str, Any]:
+        return {
+            "server": self.stats.as_dict(self.active_sessions),
+            "session": session.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, code: str, message: str
+    ) -> None:
+        try:
+            writer.write(protocol.pack_error(code, message))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass

@@ -53,10 +53,34 @@ def has_numpy() -> bool:
     return numpy_or_none() is not None
 
 
+def validate_env_backend() -> Optional[str]:
+    """Fail fast on an invalid ``REPRO_BACKEND`` value.
+
+    Returns the normalised value (or ``None`` when unset/empty); raises
+    :class:`~repro.errors.ConfigError` naming :data:`BACKEND_CHOICES` for
+    anything else.  The CLI calls this at startup so a typo'd environment
+    cannot silently fall back to ``auto`` or surface mid-sweep.
+    """
+    raw = os.environ.get("REPRO_BACKEND")
+    if raw is None:
+        return None
+    value = raw.strip().lower()
+    if not value:
+        return None
+    if value not in BACKEND_CHOICES:
+        raise ConfigError(
+            f"invalid REPRO_BACKEND value {raw!r}; expected one of {BACKEND_CHOICES}"
+        )
+    return value
+
+
 def default_backend() -> str:
-    """The process default: ``REPRO_BACKEND`` when set, else ``auto``."""
-    value = os.environ.get("REPRO_BACKEND", "").strip().lower()
-    return value if value in BACKEND_CHOICES else "auto"
+    """The process default: ``REPRO_BACKEND`` when set, else ``auto``.
+
+    An invalid ``REPRO_BACKEND`` raises :class:`~repro.errors.ConfigError`
+    (see :func:`validate_env_backend`) rather than silently degrading.
+    """
+    return validate_env_backend() or "auto"
 
 
 def resolve_backend(choice: Optional[str] = None) -> str:

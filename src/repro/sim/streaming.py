@@ -1,0 +1,420 @@
+"""Incremental (streaming) predictor scoring sessions.
+
+The offline engines score a *complete* trace in one call.  The prediction
+service (:mod:`repro.serve`) instead receives records in arbitrary chunks
+over a connection and must answer each chunk before the next arrives, while
+the predictor's state persists across chunks.  A :class:`StreamingScorer`
+is that session object: feed it record batches in trace order and it
+returns the per-record predictions, accumulating the same
+:class:`~repro.sim.results.PredictionStats` the offline engine would have
+produced for the concatenated stream.
+
+Two implementations exist, mirroring :mod:`repro.sim.backend`:
+
+* the **scalar** scorer wraps the predictor object built by
+  :meth:`~repro.predictors.spec.PredictorSpec.build` and dispatches its
+  fused ``observe`` per record — always available, the reference;
+* the **vector** scorer re-derives the batched kernels of
+  :mod:`repro.sim.kernels` in *carried-state* form: per-branch history
+  registers, automaton state tables and the global history register survive
+  between ``feed`` calls, so scoring a stream chunk-by-chunk is bit-exact
+  with scoring it whole.  Specs the kernels cannot express (AHRT / HHRT —
+  see :func:`repro.sim.kernels.vectorizable`) transparently fall back to
+  the scalar scorer, exactly like the offline dispatch.
+
+Bit-exactness holds for *any* chunking: ``feed(a); feed(b)`` produces the
+same predictions and statistics as ``feed(a + b)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.predictors.automata import A2
+from repro.predictors.spec import PredictorSpec, parse_spec
+from repro.sim.kernels import (
+    _composition_tables,
+    _history_global,
+    _np,
+    _profile_bias,
+    _preset_bits,
+    _segment_positions,
+    choose_backend,
+)
+from repro.sim.results import PredictionStats
+from repro.trace.record import BranchClass, BranchRecord
+
+__all__ = [
+    "StreamingScorer",
+    "ScalarStreamingScorer",
+    "VectorStreamingScorer",
+    "make_scorer",
+    "needs_training",
+]
+
+SpecLike = Union[str, PredictorSpec]
+
+#: schemes whose session needs training records before scoring starts.
+_TRAINING_SCHEMES = ("ST", "Profile")
+
+
+def needs_training(spec: PredictorSpec) -> bool:
+    """Whether a session for ``spec`` must be given training records."""
+    return spec.scheme in _TRAINING_SCHEMES
+
+
+def _as_spec(spec: SpecLike) -> PredictorSpec:
+    return spec if isinstance(spec, PredictorSpec) else parse_spec(spec)
+
+
+class StreamingScorer:
+    """Base class: an incremental scoring session for one predictor spec.
+
+    ``feed`` takes records in trace order and returns one entry per input
+    record: the predicted direction (``bool``) for conditional records,
+    ``None`` for records the direction predictor does not score (calls,
+    returns, unconditional jumps).  ``stats`` accumulates across calls.
+    """
+
+    backend = "scalar"
+
+    def __init__(self, spec: PredictorSpec):
+        self.spec = spec
+        self.stats = PredictionStats()
+
+    def feed(self, records: Sequence[BranchRecord]) -> List[Optional[bool]]:
+        raise NotImplementedError
+
+
+class ScalarStreamingScorer(StreamingScorer):
+    """Streaming session over the scalar engine's fused ``observe`` hook."""
+
+    backend = "scalar"
+
+    def __init__(
+        self,
+        spec: PredictorSpec,
+        training_records: Optional[Iterable[BranchRecord]] = None,
+    ):
+        super().__init__(spec)
+        if needs_training(spec) and training_records is None:
+            raise ConfigError(
+                f"{spec.canonical()}: session needs training records before scoring"
+            )
+        self._predictor = spec.build(training_records=training_records)
+
+    def feed(self, records: Sequence[BranchRecord]) -> List[Optional[bool]]:
+        observe = self._predictor.observe
+        stats = self.stats
+        out: List[Optional[bool]] = []
+        append = out.append
+        CONDITIONAL = BranchClass.CONDITIONAL
+        for record in records:
+            if record.cls is CONDITIONAL:
+                prediction = observe(record.pc, record.target, record.taken)
+                stats.conditional_total += 1
+                if prediction == record.taken:
+                    stats.conditional_correct += 1
+                append(prediction)
+            else:
+                append(None)
+        return out
+
+
+# ----------------------------------------------------------------------
+# carried-state vector kernels
+# ----------------------------------------------------------------------
+def _gather_states(np: Any, states: Any, keys: Any, default: int) -> Any:
+    """Current automaton state per key from a dict- or array-backed table."""
+    if isinstance(states, dict):
+        return np.fromiter(
+            (states.get(int(key), default) for key in keys),
+            dtype=np.intp,
+            count=len(keys),
+        )
+    return states[keys]
+
+
+def _scatter_states(states: Any, keys: Any, values: Any) -> None:
+    if isinstance(states, dict):
+        for key, value in zip(keys, values):
+            states[int(key)] = int(value)
+    else:
+        states[keys] = values
+
+
+def _fsm_predictions_carried(
+    np: Any, keys: Any, taken: Any, automaton: Any, states: Any
+) -> Any:
+    """Per-record predictions from replaying each key's outcome subsequence
+    through ``automaton``, *starting from and updating* ``states``.
+
+    The batched twin of :func:`repro.sim.kernels._fsm_predictions` with the
+    per-bucket initial state read from ``states`` (dict keyed by bucket, or
+    a dense array indexed by bucket) instead of ``automaton.init_state``;
+    after the call ``states`` holds each touched bucket's post-batch state,
+    so consecutive calls replay a stream chunk-by-chunk bit-exactly.
+    """
+    n = len(keys)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    predictions_lut = np.array(automaton.predictions, dtype=bool)
+    compose, decode = _composition_tables(np)
+    order, pos = _segment_positions(np, keys)
+    sorted_keys = keys[order]
+    taken_sorted = taken[order].astype(np.intp)
+    transitions = np.asarray(automaton.transitions, dtype=np.int64)
+    step_codes = np.zeros(2, dtype=np.intp)
+    for state in range(automaton.num_states):
+        step_codes |= transitions[state].astype(np.intp) << (2 * state)
+    codes = step_codes[taken_sorted].astype(np.uint8)
+    by_pos = np.argsort(pos, kind="stable")
+    pos_sorted = pos[by_pos]
+    distance = 1
+    while True:
+        active = by_pos[np.searchsorted(pos_sorted, distance):]
+        if active.size == 0:
+            break
+        codes[active] = compose[codes[active], codes[active - distance]]
+        distance <<= 1
+    seg_start = pos == 0
+    starts = np.nonzero(seg_start)[0]
+    seg_keys = sorted_keys[starts]
+    init_states = _gather_states(np, states, seg_keys, automaton.init_state)
+    seg_init = init_states[np.cumsum(seg_start) - 1]
+    state_before = seg_init.copy()
+    inner = np.nonzero(pos > 0)[0]
+    state_before[inner] = decode[codes[inner - 1], seg_init[inner]]
+    ends = np.append(starts[1:], n) - 1
+    _scatter_states(states, seg_keys, decode[codes[ends], init_states])
+    out = np.empty(n, dtype=bool)
+    out[order] = predictions_lut[state_before]
+    return out
+
+
+def _branch_histories_carried(
+    np: Any, pc: Any, taken: Any, history_length: int, table: Dict[int, int], init_value: int
+) -> Any:
+    """Per-record k-bit history *before* each record, carried across batches.
+
+    Bits below a record's in-batch occurrence index come from the batch's
+    own outcome window (the :func:`_history_per_branch` sliding window with
+    init bit 0); the higher bits are the branch's carried register shifted
+    into place.  ``table`` is updated with each branch's post-batch register.
+    """
+    n = len(pc)
+    mask = (1 << history_length) - 1
+    order, pos = _segment_positions(np, pc)
+    sorted_pc = pc[order]
+    taken_sorted = taken[order].astype(np.int64)
+    window = np.zeros(n, dtype=np.int64)
+    max_pos = int(pos.max()) if n else 0
+    for j in range(1, history_length + 1):
+        if j > max_pos:
+            break
+        previous = np.empty(n, dtype=np.int64)
+        previous[:j] = 0
+        previous[j:] = taken_sorted[:-j]
+        window |= np.where(pos >= j, previous, 0) << (j - 1)
+    seg_start = pos == 0
+    starts = np.nonzero(seg_start)[0]
+    seg_keys = sorted_pc[starts]
+    carried = np.fromiter(
+        (table.get(int(key), init_value) for key in seg_keys),
+        dtype=np.int64,
+        count=len(starts),
+    )
+    # a register contributes nothing once shifted past k bits; clamping the
+    # shift to k keeps the int64 shift in range for arbitrarily long batches
+    shift = np.minimum(pos, history_length)
+    histories = window | ((carried[np.cumsum(seg_start) - 1] << shift) & mask)
+    ends = np.append(starts[1:], n) - 1
+    new_values = ((histories[ends] << 1) | taken_sorted[ends]) & mask
+    for key, value in zip(seg_keys, new_values):
+        table[int(key)] = int(value)
+    out = np.empty(n, dtype=np.int64)
+    out[order] = histories
+    return out
+
+
+def _global_histories_carried(
+    np: Any, taken: Any, history_length: int, carried: int
+) -> "tuple[Any, int]":
+    """Per-record global history before each record, plus the new register."""
+    n = len(taken)
+    mask = (1 << history_length) - 1
+    window = _history_global(np, taken, history_length, 0)
+    shift = np.minimum(np.arange(n, dtype=np.int64), history_length)
+    histories = window | ((carried << shift) & mask)
+    if n:
+        carried = int(((int(histories[-1]) << 1) | int(taken[-1])) & mask)
+    return histories, carried
+
+
+class VectorStreamingScorer(StreamingScorer):
+    """Streaming session scored with carried-state NumPy batch kernels.
+
+    Supports exactly the specs :func:`repro.sim.kernels.vectorizable`
+    accepts; construct through :func:`make_scorer`, which applies the
+    scalar fallback for the rest.
+    """
+
+    backend = "vector"
+
+    def __init__(
+        self,
+        spec: PredictorSpec,
+        training_records: Optional[Iterable[BranchRecord]] = None,
+    ):
+        super().__init__(spec)
+        np = _np()
+        scheme = spec.scheme
+        if needs_training(spec):
+            if training_records is None:
+                raise ConfigError(
+                    f"{spec.canonical()}: session needs training records before scoring"
+                )
+            t_pc, t_taken = self._training_columns(np, training_records)
+        if scheme == "Profile":
+            self._profile_pc, self._profile_bias = _profile_bias(np, (t_pc, t_taken))
+        elif scheme == "ST":
+            assert spec.history_length is not None
+            self._preset = _preset_bits(np, (t_pc, t_taken), spec.history_length)
+            self._histories: Dict[int, int] = {}
+        elif scheme == "AT":
+            assert spec.history_length is not None and spec.pt_automaton is not None
+            self._histories = {}
+            self._pt_states = np.full(
+                1 << spec.history_length, spec.pt_automaton.init_state, dtype=np.intp
+            )
+        elif scheme == "LS":
+            assert spec.hrt_automaton is not None
+            self._site_states: Dict[int, int] = {}
+        elif scheme in ("GAg", "gshare"):
+            assert spec.history_length is not None
+            mask = (1 << spec.history_length) - 1
+            self._global = mask if scheme == "GAg" else 0
+            self._pt_states = np.full(
+                1 << spec.history_length,
+                (spec.pt_automaton or A2).init_state,
+                dtype=np.intp,
+            )
+        elif scheme not in ("AlwaysTaken", "AlwaysNotTaken", "BTFN"):
+            raise ConfigError(f"no streaming vector kernel for {spec.canonical()!r}")
+
+    @staticmethod
+    def _training_columns(np: Any, training_records: Iterable[BranchRecord]) -> "tuple[Any, Any]":
+        pairs = [
+            (record.pc, 1 if record.taken else 0)
+            for record in training_records
+            if record.cls is BranchClass.CONDITIONAL
+        ]
+        pc = np.array([pair[0] for pair in pairs], dtype=np.int64)
+        taken = np.array([pair[1] for pair in pairs], dtype=np.int8)
+        return pc, taken
+
+    # ------------------------------------------------------------------
+    def feed(self, records: Sequence[BranchRecord]) -> List[Optional[bool]]:
+        np = _np()
+        out: List[Optional[bool]] = [None] * len(records)
+        CONDITIONAL = BranchClass.CONDITIONAL
+        cond_indices = [
+            index for index, record in enumerate(records) if record.cls is CONDITIONAL
+        ]
+        if not cond_indices:
+            return out
+        m = len(cond_indices)
+        pc = np.fromiter((records[i].pc for i in cond_indices), dtype=np.int64, count=m)
+        target = np.fromiter(
+            (records[i].target for i in cond_indices), dtype=np.int64, count=m
+        )
+        taken = np.fromiter(
+            (1 if records[i].taken else 0 for i in cond_indices), dtype=np.int8, count=m
+        )
+        predictions = self._predict_batch(np, pc, target, taken)
+        self.stats.conditional_total += m
+        self.stats.conditional_correct += int(
+            (predictions == taken.astype(bool)).sum()
+        )
+        for offset, index in enumerate(cond_indices):
+            out[index] = bool(predictions[offset])
+        return out
+
+    def _predict_batch(self, np: Any, pc: Any, target: Any, taken: Any) -> Any:
+        spec = self.spec
+        scheme = spec.scheme
+        if scheme == "AlwaysTaken":
+            return np.ones(len(pc), dtype=bool)
+        if scheme == "AlwaysNotTaken":
+            return np.zeros(len(pc), dtype=bool)
+        if scheme == "BTFN":
+            return target < pc
+        if scheme == "Profile":
+            unique_pc, bias = self._profile_pc, self._profile_bias
+            if len(unique_pc) == 0:
+                return np.ones(len(pc), dtype=bool)
+            slot = np.searchsorted(unique_pc, pc)
+            clamped = np.minimum(slot, len(unique_pc) - 1)
+            known = (slot < len(unique_pc)) & (unique_pc[clamped] == pc)
+            return np.where(known, bias[clamped], True)
+        if scheme == "LS":
+            return _fsm_predictions_carried(
+                np, pc, taken, spec.hrt_automaton, self._site_states
+            )
+        if scheme == "AT":
+            assert spec.history_length is not None
+            mask = (1 << spec.history_length) - 1
+            patterns = _branch_histories_carried(
+                np, pc, taken, spec.history_length, self._histories, mask
+            )
+            return _fsm_predictions_carried(
+                np, patterns, taken, spec.pt_automaton, self._pt_states
+            )
+        if scheme == "ST":
+            assert spec.history_length is not None
+            mask = (1 << spec.history_length) - 1
+            patterns = _branch_histories_carried(
+                np, pc, taken, spec.history_length, self._histories, mask
+            )
+            return self._preset[patterns]
+        if scheme == "GAg":
+            assert spec.history_length is not None
+            histories, self._global = _global_histories_carried(
+                np, taken, spec.history_length, self._global
+            )
+            return _fsm_predictions_carried(
+                np, histories, taken, spec.pt_automaton or A2, self._pt_states
+            )
+        if scheme == "gshare":
+            assert spec.history_length is not None
+            mask = (1 << spec.history_length) - 1
+            histories, self._global = _global_histories_carried(
+                np, taken, spec.history_length, self._global
+            )
+            index = ((pc >> 2) ^ histories) & mask
+            return _fsm_predictions_carried(
+                np, index, taken, spec.pt_automaton or A2, self._pt_states
+            )
+        raise ConfigError(f"no streaming vector kernel for {spec.canonical()!r}")
+
+
+def make_scorer(
+    spec: SpecLike,
+    backend: Optional[str] = None,
+    training_records: Optional[Iterable[BranchRecord]] = None,
+) -> StreamingScorer:
+    """Build the streaming scorer for ``spec`` on the chosen backend.
+
+    ``backend`` accepts the usual ``auto`` / ``scalar`` / ``vector`` (or
+    ``None`` for the process default); the resolution rules are those of
+    the offline dispatch (:func:`repro.sim.kernels.choose_backend`), so
+    AHRT / HHRT sessions silently run on the scalar scorer even when
+    ``vector`` was requested, and the predictions are identical either way.
+    """
+    parsed = _as_spec(spec)
+    if training_records is not None and not isinstance(training_records, (list, tuple)):
+        training_records = list(training_records)
+    if choose_backend(parsed, backend) == "vector":
+        return VectorStreamingScorer(parsed, training_records)
+    return ScalarStreamingScorer(parsed, training_records)

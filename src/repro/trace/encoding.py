@@ -36,6 +36,11 @@ _RECORD_V1 = struct.Struct("<IBII")
 PathOrFile = Union[str, Path, IO[bytes]]
 
 
+#: size in bytes of one v2 (YPTRACE2) record — the unit the prediction
+#: service's record frames are counted in.
+RECORD_SIZE = _RECORD.size
+
+
 def _pack_flags(record: BranchRecord) -> int:
     return (
         (1 if record.taken else 0)
@@ -57,6 +62,33 @@ def _unpack_flags(flags: int) -> "tuple[bool, BranchClass, bool]":
     return taken, cls, is_call
 
 
+def encode_record(record: BranchRecord) -> bytes:
+    """Encode one record in the v2 (YPTRACE2) 9-byte wire layout.
+
+    The single-record unit shared by the trace-file writer and the
+    prediction service's record frames (:mod:`repro.serve.protocol`).
+    """
+    return _RECORD.pack(
+        record.pc & 0xFFFFFFFF, _pack_flags(record), record.target & 0xFFFFFFFF
+    )
+
+
+def decode_record(data: bytes, offset: int = 0) -> BranchRecord:
+    """Decode one v2 record from ``data`` at ``offset``.
+
+    Raises :class:`~repro.errors.TraceFormatError` on short input or an
+    invalid flag byte (bad class, NON_BRANCH).
+    """
+    if len(data) - offset < RECORD_SIZE:
+        raise TraceFormatError(
+            f"truncated record: need {RECORD_SIZE} bytes,"
+            f" got {max(len(data) - offset, 0)}"
+        )
+    pc, flags, target = _RECORD.unpack_from(data, offset)
+    taken, cls, is_call = _unpack_flags(flags)
+    return BranchRecord(pc=pc, cls=cls, taken=taken, target=target, is_call=is_call)
+
+
 def write_trace(records: Iterable[BranchRecord], destination: PathOrFile) -> int:
     """Write ``records`` to ``destination`` (v2 format); return the count.
 
@@ -67,9 +99,7 @@ def write_trace(records: Iterable[BranchRecord], destination: PathOrFile) -> int
     body = io.BytesIO()
     count = 0
     for record in records:
-        body.write(
-            _RECORD.pack(record.pc & 0xFFFFFFFF, _pack_flags(record), record.target & 0xFFFFFFFF)
-        )
+        body.write(encode_record(record))
         count += 1
 
     if isinstance(destination, (str, Path)):

@@ -210,7 +210,9 @@ class TestBackendResolution:
         assert default_backend() == "scalar"
         assert resolve_backend(None) == "scalar"
         monkeypatch.setenv("REPRO_BACKEND", "nonsense")
-        assert default_backend() == "auto"
+        # fail fast on a typo'd environment rather than silently using auto
+        with pytest.raises(ConfigError, match="REPRO_BACKEND"):
+            default_backend()
 
     def test_without_numpy(self, monkeypatch):
         """Simulate a NumPy-less interpreter: auto degrades, explicit vector

@@ -1,0 +1,166 @@
+"""Streaming scorers: chunked scoring must be bit-exact with whole-trace
+scoring, for every backend and any chunking.
+
+The core invariant (see :mod:`repro.sim.streaming`): ``feed(a); feed(b)``
+produces the same per-record predictions and the same accumulated stats as
+``feed(a + b)`` — and both equal the offline engines.  The property tests
+chunk random traces at random boundaries; the workload test replays real
+traces in awkward chunk sizes through every spec family.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.predictors.spec import parse_spec
+from repro.sim.backend import has_numpy
+from repro.sim.engine import simulate
+from repro.sim.streaming import (
+    ScalarStreamingScorer,
+    VectorStreamingScorer,
+    make_scorer,
+    needs_training,
+)
+from repro.trace.columnar import pack_records
+from repro.trace.record import BranchClass, BranchRecord
+
+needs_numpy = pytest.mark.skipif(not has_numpy(), reason="NumPy not installed")
+
+#: one spec per streaming kernel shape (mirrors kernels' VECTOR_SPECS).
+STREAM_SPECS = [
+    "AlwaysTaken",
+    "AlwaysNotTaken",
+    "BTFN",
+    "Profile",
+    "LS(IHRT(,A2),,)",
+    "AT(IHRT(,6SR),PT(2^6,A2),)",
+    "ST(IHRT(,6SR),PT(2^6,PB),Same)",
+    "GAg(6,A2)",
+    "gshare(8,A2)",
+]
+
+SCALAR_ONLY = "AT(AHRT(64,4SR),PT(2^4,A2),)"
+
+_MIXED_RECORDS = st.lists(
+    st.builds(
+        BranchRecord,
+        pc=st.sampled_from([0x1000, 0x1004, 0x1008, 0x2000, 0x2004]),
+        cls=st.sampled_from([BranchClass.CONDITIONAL, BranchClass.IMM_UNCONDITIONAL]),
+        taken=st.booleans(),
+        target=st.integers(0, 0xFFFF),
+        is_call=st.just(False),
+    ),
+    max_size=80,
+)
+
+
+def _chunks(records, sizes):
+    """Split ``records`` at the cumulative ``sizes`` boundaries."""
+    out, start = [], 0
+    for size in sizes:
+        out.append(records[start:start + size])
+        start += size
+    if start < len(records):
+        out.append(records[start:])
+    return out
+
+
+def _feed_chunked(scorer, records, rng):
+    predictions = []
+    start = 0
+    while start < len(records):
+        size = rng.randint(1, max(1, len(records) // 3))
+        predictions.extend(scorer.feed(records[start:start + size]))
+        start += size
+    return predictions
+
+
+@needs_numpy
+class TestChunkInvariance:
+    """feed in chunks == feed whole == the offline scalar engine."""
+
+    @pytest.mark.parametrize("spec_text", STREAM_SPECS)
+    @given(records=_MIXED_RECORDS, seed=st.integers(0, 2**16))
+    @settings(deadline=None, max_examples=25)
+    def test_chunked_equals_whole(self, spec_text, records, seed):
+        spec = parse_spec(spec_text)
+        training = records if needs_training(spec) else None
+
+        whole = make_scorer(spec, "vector", training_records=training)
+        whole_predictions = whole.feed(records)
+
+        chunked = make_scorer(spec, "vector", training_records=training)
+        rng = random.Random(seed)
+        chunked_predictions = _feed_chunked(chunked, records, rng)
+
+        assert chunked_predictions == whole_predictions
+        assert chunked.stats == whole.stats
+
+    @pytest.mark.parametrize("spec_text", STREAM_SPECS)
+    @given(records=_MIXED_RECORDS)
+    @settings(deadline=None, max_examples=25)
+    def test_vector_equals_scalar(self, spec_text, records):
+        spec = parse_spec(spec_text)
+        training = records if needs_training(spec) else None
+        vector = make_scorer(spec, "vector", training_records=training)
+        scalar = make_scorer(spec, "scalar", training_records=training)
+        assert vector.backend == "vector" and scalar.backend == "scalar"
+        assert vector.feed(records) == scalar.feed(records)
+        assert vector.stats == scalar.stats
+
+    def test_stats_match_offline_engine(self, eqntott_trace):
+        records = eqntott_trace.records
+        for spec_text in STREAM_SPECS:
+            spec = parse_spec(spec_text)
+            training = records if needs_training(spec) else None
+            scorer = make_scorer(spec, "vector", training_records=training)
+            for chunk in _chunks(records, [1, 7, 300, 4096]):
+                scorer.feed(chunk)
+            expected = simulate(
+                spec.build(training_records=training), pack_records(records)
+            )
+            assert scorer.stats == expected, spec_text
+
+
+class TestDispatch:
+    def test_scalar_fallback_for_finite_hrt(self):
+        scorer = make_scorer(SCALAR_ONLY, "vector" if has_numpy() else "scalar")
+        assert isinstance(scorer, ScalarStreamingScorer)
+        assert scorer.backend == "scalar"
+
+    @needs_numpy
+    def test_vector_selected_when_possible(self):
+        assert isinstance(make_scorer("BTFN", "vector"), VectorStreamingScorer)
+        assert isinstance(make_scorer("BTFN", "auto"), VectorStreamingScorer)
+
+    def test_scalar_always_available(self):
+        assert isinstance(make_scorer("BTFN", "scalar"), ScalarStreamingScorer)
+
+    def test_spec_text_accepted(self):
+        scorer = make_scorer("GAg(4,A2)", "scalar")
+        assert scorer.spec.scheme == "GAg"
+
+    def test_needs_training(self):
+        assert needs_training(parse_spec("Profile"))
+        assert needs_training(parse_spec("ST(IHRT(,4SR),PT(2^4,PB),Same)"))
+        assert not needs_training(parse_spec("AT(IHRT(,4SR),PT(2^4,A2),)"))
+
+    @pytest.mark.parametrize("backend", ["scalar", "auto"])
+    def test_training_required(self, backend):
+        with pytest.raises(ConfigError, match="training"):
+            make_scorer("Profile", backend)
+
+    def test_skipped_records_are_none(self, periodic_trace):
+        call = BranchRecord(
+            pc=0x9000, cls=BranchClass.IMM_UNCONDITIONAL, taken=True,
+            target=0x100, is_call=True,
+        )
+        scorer = make_scorer("AlwaysTaken", "scalar")
+        predictions = scorer.feed([call] + periodic_trace[:3] + [call])
+        assert predictions[0] is None and predictions[-1] is None
+        assert predictions[1:4] == [True, True, True]
+        assert scorer.stats.conditional_total == 3

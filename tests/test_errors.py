@@ -1,0 +1,128 @@
+"""Error-path formatting: the messages users actually see.
+
+Every error class carries enough context to act on — source line for
+assembly faults, pc for execution faults, the offending value plus the
+accepted choices for configuration mistakes, a machine-readable code for
+protocol faults — and everything derives from :class:`ReproError` so the
+CLI's single catch turns any of them into ``error: ...`` with exit 2.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import cli
+from repro.errors import (
+    AssemblyError,
+    ConfigError,
+    ExecutionError,
+    KernelError,
+    ProtocolError,
+    ReproError,
+    SpecParseError,
+    TraceFormatError,
+    WorkloadError,
+)
+from repro.sim import backend as backend_mod
+from repro.trace.encoding import (
+    MAGIC,
+    RECORD_SIZE,
+    decode_record,
+    encode_record,
+    read_trace,
+    write_trace,
+)
+from repro.trace.record import BranchClass, BranchRecord
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (
+            AssemblyError, ConfigError, ExecutionError, KernelError,
+            ProtocolError, SpecParseError, TraceFormatError, WorkloadError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_spec_parse_is_a_config_error(self):
+        assert issubclass(SpecParseError, ConfigError)
+
+
+class TestContextPrefixes:
+    def test_assembly_error_line_prefix(self):
+        assert str(AssemblyError("unknown opcode", line=17)) == "line 17: unknown opcode"
+        assert AssemblyError("unknown opcode", line=17).line == 17
+        assert str(AssemblyError("no line")) == "no line"
+
+    def test_execution_error_pc_prefix(self):
+        error = ExecutionError("bad opcode", pc=0x1234)
+        assert str(error) == "pc=0x00001234: bad opcode"
+        assert error.pc == 0x1234
+        assert str(ExecutionError("no pc")) == "no pc"
+
+    def test_protocol_error_code(self):
+        error = ProtocolError("ragged payload", "bad-frame")
+        assert error.code == "bad-frame"
+        assert str(error) == "ragged payload"
+        assert ProtocolError("default").code == "protocol"
+
+
+class TestBackendConfigErrors:
+    def test_invalid_env_names_the_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "simd")
+        with pytest.raises(ConfigError) as excinfo:
+            backend_mod.validate_env_backend()
+        message = str(excinfo.value)
+        assert "REPRO_BACKEND" in message and "'simd'" in message
+        for choice in backend_mod.BACKEND_CHOICES:
+            assert choice in message
+
+    def test_env_whitespace_and_case_normalised(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  Vector ")
+        assert backend_mod.validate_env_backend() == "vector"
+        monkeypatch.setenv("REPRO_BACKEND", "")
+        assert backend_mod.validate_env_backend() is None
+
+    def test_explicit_vector_without_numpy(self, monkeypatch):
+        """`--backend vector` on a NumPy-less host must explain the fix."""
+        monkeypatch.setattr(backend_mod, "_NUMPY", None)
+        monkeypatch.setattr(backend_mod, "_NUMPY_CHECKED", True)
+        with pytest.raises(ConfigError) as excinfo:
+            backend_mod.resolve_backend("vector")
+        message = str(excinfo.value)
+        assert "NumPy" in message and "auto" in message
+
+    def test_cli_reports_bad_env_and_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        assert cli.main(["list"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid REPRO_BACKEND")
+        assert "('auto', 'scalar', 'vector')" in err
+
+
+class TestTraceFormatErrors:
+    RECORD = BranchRecord(
+        pc=0x400, cls=BranchClass.CONDITIONAL, taken=True, target=0x800
+    )
+
+    def test_truncated_record_message(self):
+        data = encode_record(self.RECORD)
+        with pytest.raises(TraceFormatError, match=f"need {RECORD_SIZE} bytes, got 4"):
+            decode_record(data[:4])
+        assert decode_record(data) == self.RECORD
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError, match="truncated trace header"):
+            read_trace(io.BytesIO(MAGIC[:4]))
+
+    def test_truncated_body_names_the_shortfall(self):
+        buffer = io.BytesIO()
+        write_trace([self.RECORD] * 3, buffer)
+        clipped = io.BytesIO(buffer.getvalue()[:-RECORD_SIZE])
+        with pytest.raises(TraceFormatError, match="promised 3 records"):
+            read_trace(clipped)
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            read_trace(io.BytesIO(b"NOTATRACE" + b"\x00" * 16))
