@@ -3,11 +3,11 @@
 Each ``bench_*`` file regenerates one of the paper's tables or figures,
 prints the regenerated rows, and asserts the experiment's shape checks.  The
 trace scale is controlled by ``REPRO_BENCH_SCALE`` (conditional branches per
-benchmark, default 30,000 — the paper's twenty million is available to
-anyone with patience via the environment variable or the CLI).
+benchmark, default 30,000; set it to ``paper`` for the paper's twenty
+million — see the "running at paper scale" recipe in docs/performance.md).
 
-Traces are cached on disk under ``.trace_cache`` so repeated benchmark runs
-skip the CPU-simulation stage.
+Traces are cached on disk under ``.trace_cache`` (a memory-mapped shard
+store) so repeated benchmark runs skip the CPU-simulation stage.
 """
 
 from __future__ import annotations
@@ -17,14 +17,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.workloads.base import TraceCache
+from repro.workloads.base import TraceCache, parse_scale
 
 DEFAULT_SCALE = 30_000
 
 
 @pytest.fixture(scope="session")
 def bench_scale() -> int:
-    return int(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+    return parse_scale(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
 
 
 @pytest.fixture(scope="session")

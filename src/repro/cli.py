@@ -19,7 +19,12 @@ Subcommands:
   prediction service (sessions over TCP; see ``docs/serving.md``).
 * ``repro bench-serve [--sessions N] [--scale N] ...`` — load-test an
   in-process server and write ``BENCH_serve.json``.
+* ``repro cache [--verify] [--evict STEM ...] [--clear]`` — inspect and
+  manage the on-disk trace store (shards, sizes, hit counts).
 * ``repro list`` — list experiments, workloads and example spec strings.
+
+Every ``--scale`` flag accepts an integer conditional-branch cap or the
+``paper`` preset (20,000,000 — the paper's per-benchmark simulation length).
 """
 
 from __future__ import annotations
@@ -43,7 +48,9 @@ from repro.workloads.base import (
     DEFAULT_CONDITIONAL_BRANCHES,
     TraceCache,
     default_cache,
+    default_cache_dir,
     get_workload,
+    parse_scale,
     workload_names,
 )
 
@@ -52,6 +59,22 @@ def _parse_benchmarks(text: Optional[str]) -> Optional[List[str]]:
     if not text:
         return None
     return [name.strip() for name in text.split(",") if name.strip()]
+
+
+def _scale_arg(text: str) -> int:
+    """argparse type for ``--scale``: an integer or the ``paper`` preset."""
+    try:
+        return parse_scale(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _human_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f}{unit}" if unit != "B" else f"{int(count)}B"
+        count /= 1024
+    return f"{count:.1f}GiB"  # pragma: no cover - loop always returns
 
 
 def _build_cache(args: argparse.Namespace) -> TraceCache:
@@ -128,7 +151,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
-    trace = workload.generate(workload.dataset(args.dataset), args.scale)
+    # through the cache, so the expensive generation lands in (or warm-loads
+    # from) the shard store — `repro trace X --scale paper` is the documented
+    # way to pre-pay a paper-scale trace once per machine
+    trace = _build_cache(args).get(workload, args.dataset, args.scale)
     mix = trace.mix
     census = static_branch_census(trace.records)
     print(f"workload:            {workload.name} [{workload.category}]")
@@ -370,6 +396,59 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect / manage the shard store behind the disk trace cache."""
+    from repro.trace.store import TraceStore
+
+    root = args.cache_dir or default_cache_dir()
+    if root is None:
+        print(
+            "error: the disk trace cache is disabled"
+            " (REPRO_CACHE_DIR is set but empty)",
+            file=sys.stderr,
+        )
+        return 2
+    store = TraceStore(root)
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} shard(s) from {store.root}")
+        return 0
+    if args.evict:
+        removed = store.evict(args.evict)
+        for stem in removed:
+            print(f"evicted {stem}")
+        missing = [stem for stem in args.evict if stem not in removed]
+        for stem in missing:
+            print(f"no such shard: {stem}", file=sys.stderr)
+        return 1 if missing else 0
+    if args.verify:
+        results = store.verify()
+        corrupt = 0
+        for stem, error in results:
+            if error is None:
+                print(f"ok       {stem}")
+            else:
+                corrupt += 1
+                print(f"CORRUPT  {stem}: {error}")
+        print(f"{len(results)} shard(s), {corrupt} corrupt")
+        return 1 if corrupt else 0
+    infos = store.entries()
+    total = sum(info.bytes for info in infos)
+    print(f"trace store: {store.root}")
+    print(
+        f"{len(infos)} shard(s), {_human_bytes(total)} used"
+        f" of {_human_bytes(store.max_bytes)} bound"
+    )
+    if infos:
+        print(f"\n{'shard':52s}{'size':>10s}{'records':>12s}{'comp':>6s}{'hits':>6s}")
+        for info in sorted(infos, key=lambda i: i.last_used, reverse=True):
+            print(
+                f"{info.stem:52s}{_human_bytes(info.bytes):>10s}"
+                f"{info.records:>12d}{info.compression:>6s}{info.hits:>6d}"
+            )
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     del args
     print("Experiments:")
@@ -437,9 +516,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="experiment id (fig3..fig10, table1, table2) or 'all'")
     run_parser.add_argument(
         "--scale",
-        type=int,
+        type=_scale_arg,
         default=DEFAULT_CONDITIONAL_BRANCHES,
-        help="conditional branches simulated per benchmark (paper: 20,000,000)",
+        help="conditional branches simulated per benchmark, or 'paper'"
+             " for the paper's 20,000,000",
     )
     run_parser.add_argument("--benchmarks", help="comma-separated workload subset")
     _add_perf_options(run_parser)
@@ -447,7 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_parser = sub.add_parser("sweep", help="simulate arbitrary predictor specs")
     sweep_parser.add_argument("specs", nargs="+", help="Table 2 configuration strings")
-    sweep_parser.add_argument("--scale", type=int, default=DEFAULT_CONDITIONAL_BRANCHES)
+    sweep_parser.add_argument(
+        "--scale", type=_scale_arg, default=DEFAULT_CONDITIONAL_BRANCHES,
+        help="conditional branches per benchmark, or 'paper' (20,000,000)",
+    )
     sweep_parser.add_argument("--benchmarks", help="comma-separated workload subset")
     sweep_parser.add_argument(
         "--format", choices=("table", "csv", "markdown"), default="table",
@@ -459,7 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser = sub.add_parser("trace", help="generate a workload trace")
     trace_parser.add_argument("workload", choices=workload_names())
     trace_parser.add_argument("--dataset", default="test", choices=("test", "train"))
-    trace_parser.add_argument("--scale", type=int, default=DEFAULT_CONDITIONAL_BRANCHES)
+    trace_parser.add_argument("--scale", type=_scale_arg, default=DEFAULT_CONDITIONAL_BRANCHES)
     trace_parser.add_argument(
         "--hot", type=int, default=0, metavar="N",
         help="also print the N hottest conditional branch sites",
@@ -468,6 +551,8 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output",
         help="write the trace to this path (binary; .txt selects the text format)",
     )
+    trace_parser.add_argument("--cache-dir", metavar="PATH")
+    trace_parser.add_argument("--no-cache", action="store_true")
     trace_parser.set_defaults(func=_cmd_trace)
 
     asm_parser = sub.add_parser("asm", help="assemble (and run) an assembly file")
@@ -558,8 +643,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks", help="comma-separated workload subset (default: eqntott,tomcatv)"
     )
     bench_serve_parser.add_argument(
-        "--scale", type=int, default=20_000,
-        help="conditional branches per workload trace",
+        "--scale", type=_scale_arg, default=20_000,
+        help="conditional branches per workload trace (or 'paper')",
     )
     bench_serve_parser.add_argument(
         "--chunk", type=int, default=512, metavar="RECORDS",
@@ -583,6 +668,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve_parser.add_argument("--cache-dir", metavar="PATH")
     bench_serve_parser.add_argument("--no-cache", action="store_true")
     bench_serve_parser.set_defaults(func=_cmd_bench_serve)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect and manage the on-disk trace store"
+    )
+    cache_parser.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="store root (default: ~/.cache/repro-traces, or $REPRO_CACHE_DIR)",
+    )
+    cache_parser.add_argument(
+        "--evict", nargs="+", metavar="STEM", help="delete the named shard(s)"
+    )
+    cache_parser.add_argument(
+        "--clear", action="store_true", help="delete every shard"
+    )
+    cache_parser.add_argument(
+        "--verify", action="store_true",
+        help="fully read every shard, reporting corruption (typed errors)",
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     list_parser = sub.add_parser("list", help="list experiments and workloads")
     list_parser.set_defaults(func=_cmd_list)

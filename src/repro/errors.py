@@ -45,6 +45,18 @@ class TraceFormatError(ReproError):
     """A trace file or stream is malformed."""
 
 
+class StoreError(TraceFormatError):
+    """A trace-store shard is corrupt, truncated, or unreadable.
+
+    Messages follow the truncation convention of the trace readers: report
+    the promised byte/record counts next to what was actually received, so
+    ``repro cache --verify`` output pinpoints the damage.  Subclasses
+    :class:`TraceFormatError` because a shard is just a columnar trace
+    container; catching the narrower type distinguishes store-layer damage
+    from a malformed ``.trc`` file.
+    """
+
+
 class ConfigError(ReproError):
     """A predictor or experiment configuration is invalid."""
 

@@ -24,13 +24,25 @@ scores whole predictor families with columnar batch operations instead:
   function-composition doubling scan: ``O(n * states * log n)`` NumPy work
   in place of ``n`` interpreter dispatches.
 
+* **Finite HRT front-ends** (AHRT / HHRT) reduce to the same bucket
+  machinery through a *key remap*:
+
+  - the hashed HHRT's collisions are just a different pc→bucket map —
+    every branch hashing to a slot shares one register, so replaying the
+    slot's merged outcome sequence reproduces the interference exactly;
+  - the set-associative AHRT's payloads live in *physical registers*
+    (eviction inherits the victim's bits — section 4.2), so each record is
+    keyed by the register that services it.  The register assignment is a
+    pure function of the pc touch sequence (LRU order never reads payloads
+    or outcomes) and decomposes per way-set; sets whose touch alphabet
+    fits in the ways — the common case — assign fully columnarly, and only
+    *conflicted* sets walk their recency stack (see :class:`AhrtReplay`).
+
 Every kernel is **bit-exact** against the scalar engine: the per-record
 predictions are identical, so :class:`~repro.sim.results.PredictionStats`
-and per-site accuracies match exactly.  Specs the kernels cannot express
-exactly — AHRT (LRU eviction with payload inheritance is order-dependent
-across sets) and HHRT (cross-branch collision interference) — are rejected
-by :func:`vectorizable` and transparently fall back to the scalar path in
-:func:`score_spec`.
+and per-site accuracies match exactly.  Every spec family the registry can
+parse now has a kernel — :func:`vectorizable` returns ``True`` across the
+board and the scalar engine remains only as the independent reference.
 
 NumPy is an optional dependency (see :mod:`repro.sim.backend`); everything
 here raises :class:`~repro.errors.KernelError` when it is missing.
@@ -40,8 +52,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Optional, Tuple
 
-from repro.errors import KernelError
+from repro.errors import ConfigError, KernelError
 from repro.predictors.automata import A2, Automaton
+from repro.predictors.hrt import _HASH_MULTIPLIER
 from repro.predictors.spec import PredictorSpec
 from repro.sim.backend import numpy_or_none
 from repro.sim.results import PredictionStats
@@ -63,17 +76,18 @@ def _np() -> Any:
 def vectorizable(spec: PredictorSpec) -> bool:
     """Whether the vector backend can score ``spec`` bit-exactly.
 
-    The finite HRTs are excluded by design: AHRT replay depends on the LRU
-    interleaving of *all* branches sharing a set (evicted payloads are
-    inherited, not re-initialised), and HHRT collisions couple the state of
-    every branch hashing to a slot.  Both route to the scalar engine.
+    ``True`` for every spec family the registry can parse.  The finite HRTs
+    (AHRT/HHRT), once excluded because their cross-branch state sharing is
+    order-dependent, are handled by remapping each record to its *register*
+    key before the bucket replay — see :func:`_hrt_keys` — so the function
+    now only rejects genuinely unknown schemes.
     """
     if spec.scheme in ("AlwaysTaken", "AlwaysNotTaken", "BTFN", "Profile"):
         return True
     if spec.scheme in ("GAg", "gshare"):
         return spec.history_length is not None
     if spec.scheme in ("AT", "ST", "LS"):
-        return spec.hrt_kind == "IHRT"
+        return spec.hrt_kind in ("IHRT", "AHRT", "HHRT")
     return False
 
 
@@ -127,8 +141,9 @@ def _history_per_branch(
 ) -> Any:
     """Per-record k-bit history register value *before* each record.
 
-    Equivalent to replaying ``new = ((old << 1) | taken) & mask`` per branch
-    address with registers initialised to all ``init_bit`` bits: bit ``j-1``
+    Equivalent to replaying ``new = ((old << 1) | taken) & mask`` per bucket
+    key (branch address, AHRT register, or HHRT slot — whatever ``pc``
+    holds) with registers initialised to all ``init_bit`` bits: bit ``j-1``
     of a record's history is that branch's outcome ``j`` occurrences earlier
     (or ``init_bit`` before its first occurrence).  Computed as a sliding
     window over the outcome column in branch-sorted order — ``k`` vector
@@ -169,6 +184,141 @@ def _history_global(np: Any, taken: Any, history_length: int, init_bit: int) -> 
         if j < n:
             history[j:] |= taken64[:-j] << (j - 1)
     return history
+
+
+# ----------------------------------------------------------------------
+# finite-HRT key remaps (AHRT / HHRT)
+# ----------------------------------------------------------------------
+def _hash_buckets(np: Any, pc: Any, buckets: int) -> Any:
+    """Columnar twin of :func:`repro.predictors.hrt._index_hash`.
+
+    Safe in int64 arithmetic: the shifted pc is below ``2**30``, so the
+    pre-mask product stays below ``2**62``.
+    """
+    return (((pc >> 2) * _HASH_MULTIPLIER) & 0xFFFFFFFF) % buckets
+
+
+class AhrtReplay:
+    """Incremental AHRT register assignment (the streaming scorers' carry).
+
+    Maps each access to the *physical register* that services it.  The
+    AHRT's one coupling between branches — LRU eviction, whose victim's
+    payload is inherited rather than re-initialised (section 4.2) — never
+    reads payloads or outcomes, so the register sequence is a pure function
+    of the pc touch sequence and can be computed up front; after the remap,
+    payload evolution is ordinary independent-bucket replay keyed by
+    register.  This class walks every touched set's recency stack one touch
+    at a time (consecutive repeats short-circuited), allocating register
+    ids globally on first use so they are stable across ``assign`` calls:
+    feeding a trace through one instance chunk by chunk yields exactly the
+    ids a single whole-trace call would (chunking invariance).
+    """
+
+    def __init__(self, entries: int, associativity: int):
+        if entries < 1 or associativity < 1:
+            raise ConfigError("AHRT entries and associativity must be >= 1")
+        if entries % associativity:
+            raise ConfigError(
+                f"AHRT entries ({entries}) must be a multiple of"
+                f" associativity ({associativity})"
+            )
+        self.associativity = associativity
+        self.num_sets = entries // associativity
+        #: per touched set: ({tag: register}, [tags in LRU..MRU order])
+        self._sets: Dict[int, Tuple[Dict[int, int], list]] = {}
+        self._next_register = 0
+        self.evictions = 0
+
+    def assign(self, np: Any, pc: Any) -> Any:
+        """Register id serving each access in ``pc``, advancing the LRU state."""
+        sets = _hash_buckets(np, pc, self.num_sets)
+        out = [0] * len(pc)
+        assoc = self.associativity
+        tables = self._sets
+        last_set = last_tag = last_register = -1
+        for i, (set_index, tag) in enumerate(zip(sets.tolist(), pc.tolist())):
+            if set_index == last_set and tag == last_tag:
+                out[i] = last_register
+                continue
+            ways = tables.get(set_index)
+            if ways is None:
+                ways = ({}, [])
+                tables[set_index] = ways
+            tagmap, recency = ways
+            register = tagmap.get(tag)
+            if register is None:
+                if len(tagmap) < assoc:  # untagged physical registers remain
+                    register = self._next_register
+                    self._next_register += 1
+                else:  # evict LRU; its register (and payload) is inherited
+                    victim = recency.pop(0)
+                    register = tagmap.pop(victim)
+                    self.evictions += 1
+                tagmap[tag] = register
+                recency.append(tag)
+            elif recency[-1] != tag:
+                recency.remove(tag)
+                recency.append(tag)
+            out[i] = register
+            last_set, last_tag, last_register = set_index, tag, register
+        return np.asarray(out, dtype=np.int64)
+
+
+def _ahrt_registers(np: Any, pc: Any, entries: int, associativity: int) -> Any:
+    """One-shot AHRT register assignment for a whole pc column.
+
+    LRU decomposes per way-set, and a set whose whole touch alphabet fits
+    in its ways can never evict — every (set, tag) pair keeps the register
+    it first allocated, so its assignment is just the dense pair id from
+    ``np.unique``.  With the paper's geometries (e.g. 128 sets for
+    AHRT(512)) that covers nearly every set; only *conflicted* sets (more
+    distinct tags than ways) walk their touch sequence through
+    :class:`AhrtReplay`, renumbered into per-set id ranges disjoint from
+    the pair ids.
+    """
+    replay = AhrtReplay(entries, associativity)  # validates the geometry
+    num_sets = replay.num_sets
+    if num_sets > 0x7FFFFFFF:  # pair packing needs the set id in 31 bits
+        return replay.assign(np, pc)
+    sets = _hash_buckets(np, pc, num_sets)
+    pairs = (sets << np.int64(32)) | pc
+    unique_pairs, pair_ids = np.unique(pairs, return_inverse=True)
+    distinct_per_set = np.bincount(unique_pairs >> 32, minlength=num_sets)
+    conflicted = distinct_per_set > associativity
+    registers = pair_ids.astype(np.int64)
+    if not conflicted.any():
+        return registers
+    touched = np.nonzero(conflicted[sets])[0]
+    order = touched[np.argsort(sets[touched], kind="stable")]
+    boundaries = np.nonzero(np.diff(sets[order]))[0] + 1
+    base = len(unique_pairs)
+    for chunk in np.split(order, boundaries):
+        # a conflicted set allocates all `associativity` of its registers
+        set_replay = AhrtReplay(entries, associativity)
+        registers[chunk] = set_replay.assign(np, pc[chunk]) + base
+        base += associativity
+    return registers
+
+
+def _hrt_keys(np: Any, spec: PredictorSpec, pc: Any) -> Any:
+    """The bucket-key column for the spec's HRT front-end.
+
+    The branch address under IHRT; the hashed slot under HHRT (colliding
+    branches merge into one bucket, reproducing the paper's history
+    interference exactly); the servicing physical register under AHRT
+    (payload inheritance rides along for free — an evicted register's
+    bucket replay simply continues from wherever the previous branch left
+    its bits).
+    """
+    if spec.hrt_kind == "AHRT":
+        assert spec.hrt_entries is not None
+        return _ahrt_registers(np, pc, spec.hrt_entries, spec.hrt_associativity)
+    if spec.hrt_kind == "HHRT":
+        assert spec.hrt_entries is not None
+        if spec.hrt_entries < 1:
+            raise ConfigError("HHRT entries must be >= 1")
+        return _hash_buckets(np, pc, spec.hrt_entries)
+    return pc
 
 
 _COMPOSE_TABLE: Any = None
@@ -318,17 +468,22 @@ def correct_mask(
         return prediction == taken_bool
     if spec.scheme == "LS":
         assert spec.hrt_automaton is not None
-        prediction = _fsm_predictions(np, pc, taken, spec.hrt_automaton)
+        keys = _hrt_keys(np, spec, pc)
+        prediction = _fsm_predictions(np, keys, taken, spec.hrt_automaton)
         return prediction == taken_bool
     if spec.scheme == "AT":
         assert spec.history_length is not None and spec.pt_automaton is not None
-        patterns = _history_per_branch(np, pc, taken, spec.history_length, 1)
+        keys = _hrt_keys(np, spec, pc)
+        patterns = _history_per_branch(np, keys, taken, spec.history_length, 1)
         prediction = _fsm_predictions(np, patterns, taken, spec.pt_automaton)
         return prediction == taken_bool
     if spec.scheme == "ST":
         assert spec.history_length is not None and training_columns is not None
+        # profiling always runs through an IHRT (software accounting), so the
+        # preset bits ignore the test HRT; only the test pass is re-keyed
         preset = _preset_bits(np, training_columns, spec.history_length)
-        patterns = _history_per_branch(np, pc, taken, spec.history_length, 1)
+        keys = _hrt_keys(np, spec, pc)
+        patterns = _history_per_branch(np, keys, taken, spec.history_length, 1)
         return preset[patterns] == taken_bool
     if spec.scheme == "GAg":
         assert spec.history_length is not None
@@ -390,7 +545,9 @@ def per_site_accuracy(
 def choose_backend(spec: PredictorSpec, backend: Optional[str] = None) -> str:
     """The concrete backend that will score ``spec``: resolves the request
     (see :func:`repro.sim.backend.resolve_backend`) and applies the
-    transparent scalar fallback for specs the kernels cannot express."""
+    transparent scalar fallback for specs the kernels cannot express.
+    Every registry family is now vectorizable, so the fallback only fires
+    for schemes added without a kernel."""
     from repro.sim.backend import resolve_backend
 
     resolved = resolve_backend(backend)

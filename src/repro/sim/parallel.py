@@ -7,8 +7,9 @@ through serially.  :func:`run_parallel_sweep` fans that grid out over a
 
 * The coordinating process first *warms* a shared on-disk
   :class:`~repro.workloads.base.TraceCache` — every benchmark's ISA trace is
-  generated exactly once per machine and written in the binary trace format,
-  so workers only ever pay the (cheap, columnar) disk read.  A memory-only
+  generated exactly once per machine and written as a content-addressed
+  shard (:mod:`repro.trace.store`), so workers only ever pay a warm,
+  memory-mapped load whose pages the OS shares between them.  A memory-only
   cache is transparently given a temporary disk directory for the duration
   of the sweep.
 * Each task is a picklable ``(spec, benchmark, cap, backend)`` tuple; the

@@ -110,12 +110,18 @@ class SweepRunner:
         # repro.sim.kernels); either way the stats are bit-identical
         backend = choose_backend(parsed, self.backend)
         needs_packed_training = training is not None and backend == "vector"
+        # the scalar path gets a one-pass record iterator rather than the
+        # boxed list: at paper scale a warm-store trace is mmap-backed
+        # columns, and materialising 20M BranchRecords just to profile would
+        # dwarf the simulation itself
         stats = score_spec(
             parsed,
             trace.packed(),
             backend=backend,
             training=training.packed() if needs_packed_training else None,
-            training_records=None if training is None else training.records,
+            training_records=None
+            if training is None or backend == "vector"
+            else training.iter_records(),
         )
         return BenchmarkResult(
             scheme=parsed.canonical(), benchmark=benchmark, stats=stats

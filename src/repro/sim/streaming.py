@@ -15,12 +15,14 @@ Two implementations exist, mirroring :mod:`repro.sim.backend`:
   :meth:`~repro.predictors.spec.PredictorSpec.build` and dispatches its
   fused ``observe`` per record — always available, the reference;
 * the **vector** scorer re-derives the batched kernels of
-  :mod:`repro.sim.kernels` in *carried-state* form: per-branch history
-  registers, automaton state tables and the global history register survive
-  between ``feed`` calls, so scoring a stream chunk-by-chunk is bit-exact
-  with scoring it whole.  Specs the kernels cannot express (AHRT / HHRT —
-  see :func:`repro.sim.kernels.vectorizable`) transparently fall back to
-  the scalar scorer, exactly like the offline dispatch.
+  :mod:`repro.sim.kernels` in *carried-state* form: history registers,
+  automaton state tables and the global history register survive between
+  ``feed`` calls, so scoring a stream chunk-by-chunk is bit-exact with
+  scoring it whole.  The finite HRT front-ends carry their state too — an
+  HHRT session just re-keys the tables by hashed slot, and an AHRT session
+  keeps a persistent :class:`~repro.sim.kernels.AhrtReplay` whose LRU
+  recency stacks advance with every batch, so register ids (and the
+  payloads they carry across evictions) are chunking-invariant.
 
 Bit-exactness holds for *any* chunking: ``feed(a); feed(b)`` produces the
 same predictions and statistics as ``feed(a + b)``.
@@ -34,7 +36,9 @@ from repro.errors import ConfigError
 from repro.predictors.automata import A2
 from repro.predictors.spec import PredictorSpec, parse_spec
 from repro.sim.kernels import (
+    AhrtReplay,
     _composition_tables,
+    _hash_buckets,
     _history_global,
     _np,
     _profile_bias,
@@ -270,6 +274,13 @@ class VectorStreamingScorer(StreamingScorer):
         super().__init__(spec)
         np = _np()
         scheme = spec.scheme
+        self._ahrt: Optional[AhrtReplay] = None
+        if scheme in ("AT", "ST", "LS"):
+            if spec.hrt_kind == "AHRT":
+                assert spec.hrt_entries is not None
+                self._ahrt = AhrtReplay(spec.hrt_entries, spec.hrt_associativity)
+            elif spec.hrt_kind == "HHRT" and (spec.hrt_entries or 0) < 1:
+                raise ConfigError("HHRT entries must be >= 1")
         if needs_training(spec):
             if training_records is None:
                 raise ConfigError(
@@ -341,6 +352,19 @@ class VectorStreamingScorer(StreamingScorer):
             out[index] = bool(predictions[offset])
         return out
 
+    def _hrt_batch_keys(self, np: Any, pc: Any) -> Any:
+        """Bucket keys for the batch under the spec's HRT front-end — the
+        streaming twin of :func:`repro.sim.kernels._hrt_keys`.  The AHRT
+        branch advances the session's carried LRU replay, so it must be
+        called exactly once per fed batch, in stream order."""
+        spec = self.spec
+        if self._ahrt is not None:
+            return self._ahrt.assign(np, pc)
+        if spec.hrt_kind == "HHRT":
+            assert spec.hrt_entries is not None
+            return _hash_buckets(np, pc, spec.hrt_entries)
+        return pc
+
     def _predict_batch(self, np: Any, pc: Any, target: Any, taken: Any) -> Any:
         spec = self.spec
         scheme = spec.scheme
@@ -359,14 +383,16 @@ class VectorStreamingScorer(StreamingScorer):
             known = (slot < len(unique_pc)) & (unique_pc[clamped] == pc)
             return np.where(known, bias[clamped], True)
         if scheme == "LS":
+            keys = self._hrt_batch_keys(np, pc)
             return _fsm_predictions_carried(
-                np, pc, taken, spec.hrt_automaton, self._site_states
+                np, keys, taken, spec.hrt_automaton, self._site_states
             )
         if scheme == "AT":
             assert spec.history_length is not None
             mask = (1 << spec.history_length) - 1
+            keys = self._hrt_batch_keys(np, pc)
             patterns = _branch_histories_carried(
-                np, pc, taken, spec.history_length, self._histories, mask
+                np, keys, taken, spec.history_length, self._histories, mask
             )
             return _fsm_predictions_carried(
                 np, patterns, taken, spec.pt_automaton, self._pt_states
@@ -374,8 +400,9 @@ class VectorStreamingScorer(StreamingScorer):
         if scheme == "ST":
             assert spec.history_length is not None
             mask = (1 << spec.history_length) - 1
+            keys = self._hrt_batch_keys(np, pc)
             patterns = _branch_histories_carried(
-                np, pc, taken, spec.history_length, self._histories, mask
+                np, keys, taken, spec.history_length, self._histories, mask
             )
             return self._preset[patterns]
         if scheme == "GAg":
@@ -408,9 +435,9 @@ def make_scorer(
 
     ``backend`` accepts the usual ``auto`` / ``scalar`` / ``vector`` (or
     ``None`` for the process default); the resolution rules are those of
-    the offline dispatch (:func:`repro.sim.kernels.choose_backend`), so
-    AHRT / HHRT sessions silently run on the scalar scorer even when
-    ``vector`` was requested, and the predictions are identical either way.
+    the offline dispatch (:func:`repro.sim.kernels.choose_backend`).  Every
+    registry spec family — finite HRTs included — now has a vector session,
+    and the predictions are identical whichever backend runs.
     """
     parsed = _as_spec(spec)
     if training_records is not None and not isinstance(training_records, (list, tuple)):

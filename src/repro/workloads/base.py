@@ -8,32 +8,60 @@ branch trace.  Data sets model the paper's Table 3 — a workload may define a
 
 Traces are cached at two levels: an in-process dict (sweeps reuse the same
 trace across dozens of predictor configurations) and an optional on-disk
-cache in the repro binary trace format (CPU execution is the expensive
-stage).  Cache keys include a per-workload ``version`` so editing a program
-generator invalidates stale traces.
+:class:`~repro.trace.store.TraceStore` of memory-mapped shards (CPU
+execution is the expensive stage).  Store keys are content-addressed over
+every generation ingredient — workload name, role, data-set parameters,
+workload ``version``, scale — so editing a program generator *or* a data
+set invalidates stale traces.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Any, Dict, List, Optional, Tuple, Type, Union
 
-from repro.errors import WorkloadError
+from repro.errors import ConfigError, WorkloadError
 from repro.isa.assembler import assemble
 from repro.isa.cpu import CPU
-from repro.trace.columnar import PackedTrace, pack_records, read_packed_trace
-from repro.trace.encoding import write_trace
+from repro.trace.columnar import PackedTrace, pack_records
 from repro.trace.record import BranchRecord, InstructionMix
+from repro.trace.store import TraceStore, content_key
 
 #: default per-benchmark conditional-branch cap for library-level runs; the
 #: paper uses 20 million, which a pure-Python interpreter reproduces only via
 #: the CLI's --scale flag.
 DEFAULT_CONDITIONAL_BRANCHES = 50_000
+
+#: the paper's per-benchmark simulation length (section 5: twenty million
+#: conditional branches per benchmark) — the ``--scale paper`` preset.
+PAPER_CONDITIONAL_BRANCHES = 20_000_000
+
+
+def parse_scale(value: Union[str, int]) -> int:
+    """Parse a ``--scale`` value: an integer cap or the ``paper`` preset.
+
+    Accepted anywhere a conditional-branch cap is read (CLI flags, the
+    ``REPRO_BENCH_SCALE`` environment knob), so ``--scale paper`` means the
+    paper's 20M-branch runs without anyone memorising the constant.
+    """
+    if isinstance(value, int):
+        scale = value
+    else:
+        text = str(value).strip().lower()
+        if text == "paper":
+            return PAPER_CONDITIONAL_BRANCHES
+        try:
+            scale = int(text)
+        except ValueError as exc:
+            raise ConfigError(
+                f"invalid scale {value!r}: expected an integer or 'paper'"
+            ) from exc
+    if scale < 1:
+        raise ConfigError(f"scale must be >= 1, got {scale}")
+    return scale
 
 INTEGER = "integer"
 FLOATING_POINT = "fp"
@@ -55,23 +83,58 @@ class DataSet:
         return self.params.get(key, default)
 
 
-@dataclass
 class WorkloadTrace:
     """A generated trace plus the statistics the figures need.
 
-    The trace is held as the ordinary record list; :meth:`packed` derives
-    (and caches) the columnar :class:`~repro.trace.columnar.PackedTrace`
-    twin that the simulation fast path consumes.
+    The trace lives in whichever representation it was born with — the
+    ordinary record list from a fresh generation, or the columnar
+    :class:`~repro.trace.columnar.PackedTrace` from a warm store load
+    (possibly memory-mapped) — and derives the other form lazily.  At
+    paper scale the distinction matters: a 20M-record trace loads from the
+    store in milliseconds as columns, and boxing it into twenty million
+    :class:`BranchRecord` tuples only happens if something actually reads
+    :attr:`records`.  Prefer :meth:`iter_records` for one-pass consumers.
     """
 
-    records: List[BranchRecord]
-    mix: InstructionMix
-    _packed: Optional[PackedTrace] = field(default=None, repr=False, compare=False)
+    def __init__(
+        self,
+        records: Optional[List[BranchRecord]] = None,
+        mix: Optional[InstructionMix] = None,
+        _packed: Optional[PackedTrace] = None,
+    ):
+        if records is None and _packed is None:
+            raise ValueError("WorkloadTrace needs records or a packed trace")
+        if mix is None:
+            raise ValueError("WorkloadTrace needs an instruction mix")
+        self._records = records
+        self.mix = mix
+        self._packed = _packed
+
+    @classmethod
+    def from_packed(cls, packed: PackedTrace, mix: InstructionMix) -> "WorkloadTrace":
+        """Wrap an already-columnar trace without materialising records."""
+        return cls(records=None, mix=mix, _packed=packed)
+
+    @property
+    def records(self) -> List[BranchRecord]:
+        """The record-list form (materialised from the columns on first use)."""
+        if self._records is None:
+            assert self._packed is not None
+            self._records = self._packed.to_records()
+        return self._records
+
+    def iter_records(self):
+        """Iterate records without forcing the boxed list into memory."""
+        if self._records is not None:
+            return iter(self._records)
+        assert self._packed is not None
+        return iter(self._packed)
 
     def packed(self) -> PackedTrace:
-        """The columnar form of :attr:`records` (packed once, then cached)."""
+        """The columnar form of the trace (packed once, then cached)."""
         if self._packed is None:
-            self._packed = pack_records(self.records)
+            assert self._records is not None
+            self._packed = pack_records(self._records)
         return self._packed
 
 
@@ -157,13 +220,14 @@ def get_workload(name: str) -> Workload:
 # trace cache
 # ----------------------------------------------------------------------
 class TraceCache:
-    """Two-level (memory + optional disk) cache of workload traces."""
+    """Two-level (memory + optional shard-store) cache of workload traces."""
 
     def __init__(self, disk_dir: "Optional[Path | str]" = None):
         self._memory: Dict[Tuple[str, str, int, int], WorkloadTrace] = {}
         self.disk_dir = Path(disk_dir).expanduser() if disk_dir is not None else None
-        if self.disk_dir is not None:
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.store: Optional[TraceStore] = (
+            TraceStore(self.disk_dir) if self.disk_dir is not None else None
+        )
 
     def with_disk(self, disk_dir: "Path | str") -> "TraceCache":
         """A cache on ``disk_dir`` sharing this cache's in-memory store.
@@ -175,6 +239,18 @@ class TraceCache:
         cache = TraceCache(disk_dir=disk_dir)
         cache._memory = self._memory
         return cache
+
+    def _stem(
+        self, workload: Workload, role: str, max_conditional: int
+    ) -> Tuple[str, Dict[str, Any]]:
+        """The store's content-addressed (stem, key dict) for one trace."""
+        return content_key(
+            workload.name,
+            role,
+            max_conditional,
+            workload.version,
+            workload.dataset(role).params,
+        )
 
     def get(
         self,
@@ -188,10 +264,10 @@ class TraceCache:
         if cached is not None:
             return cached
 
-        trace = self._load_disk(key)
+        trace = self._load_disk(workload, role, max_conditional)
         if trace is None:
             trace = workload.generate(workload.dataset(role), max_conditional)
-            self._store_disk(key, trace)
+            self._store_disk(workload, role, max_conditional, trace)
         self._memory[key] = trace
         return trace
 
@@ -211,63 +287,61 @@ class TraceCache:
         fanning out, so every worker finds each benchmark's trace on disk
         instead of re-running the ISA simulator.
         """
-        if self.disk_dir is None:
+        if self.store is None:
             raise WorkloadError("ensure_on_disk requires a disk-backed TraceCache")
-        key = (workload.name, role, max_conditional, workload.version)
-        trace_path, meta_path = self._paths(key)
-        if trace_path.exists() and meta_path.exists():
+        stem, _key = self._stem(workload, role, max_conditional)
+        if self.store.has(stem):
             return
         trace = self.get(workload, role, max_conditional)
-        if not (trace_path.exists() and meta_path.exists()):  # get() may have stored it
-            self._store_disk(key, trace)
+        if not self.store.has(stem):  # get() may have stored it
+            self._store_disk(workload, role, max_conditional, trace)
 
-    # -- disk layer ----------------------------------------------------
-    def _paths(self, key: Tuple[str, str, int, int]) -> Tuple[Path, Path]:
-        assert self.disk_dir is not None
-        digest = hashlib.sha1("/".join(map(str, key)).encode()).hexdigest()[:12]
-        stem = f"{key[0]}-{key[1]}-{key[2]}-v{key[3]}-{digest}"
-        return self.disk_dir / f"{stem}.trc", self.disk_dir / f"{stem}.json"
-
-    def _load_disk(self, key: Tuple[str, str, int, int]) -> Optional[WorkloadTrace]:
-        if self.disk_dir is None:
+    # -- disk layer (shard store) --------------------------------------
+    def _load_disk(
+        self, workload: Workload, role: str, max_conditional: int
+    ) -> Optional[WorkloadTrace]:
+        if self.store is None:
             return None
-        trace_path, meta_path = self._paths(key)
-        if not (trace_path.exists() and meta_path.exists()):
-            return None
+        stem, _key = self._stem(workload, role, max_conditional)
+        loaded = self.store.load(stem)
+        if loaded is None:
+            return None  # miss, or a corrupt shard regenerating silently
+        packed, meta = loaded
         try:
-            packed = read_packed_trace(trace_path)
-            meta = json.loads(meta_path.read_text())
             mix = InstructionMix(**meta["mix"])
-        except Exception:
-            return None  # corrupt cache entries regenerate silently
-        trace = WorkloadTrace(records=packed.to_records(), mix=mix)
-        trace._packed = packed  # the columnar form falls out of the read for free
-        return trace
+        except (KeyError, TypeError):
+            return None
+        return WorkloadTrace.from_packed(packed, mix)
 
-    def _store_disk(self, key: Tuple[str, str, int, int], trace: WorkloadTrace) -> None:
-        if self.disk_dir is None:
+    def _store_disk(
+        self,
+        workload: Workload,
+        role: str,
+        max_conditional: int,
+        trace: WorkloadTrace,
+    ) -> None:
+        if self.store is None:
             return
-        trace_path, meta_path = self._paths(key)
+        stem, key = self._stem(workload, role, max_conditional)
         meta = {
+            "key": key,
             "mix": {
                 "conditional": trace.mix.conditional,
                 "returns": trace.mix.returns,
                 "imm_unconditional": trace.mix.imm_unconditional,
                 "reg_unconditional": trace.mix.reg_unconditional,
                 "non_branch": trace.mix.non_branch,
-            }
+            },
         }
         try:
-            write_trace(trace.records, trace_path)
-            meta_path.write_text(json.dumps(meta))
+            self.store.store(stem, trace.packed(), meta)
         except OSError:
             # a read-only or full disk must not break the run; the trace
             # simply stays memory-only
-            for path in (trace_path, meta_path):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            try:
+                self.store.path_for(stem).unlink()
+            except OSError:
+                pass
 
 
 def default_cache_dir() -> Optional[Path]:

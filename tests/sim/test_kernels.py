@@ -54,15 +54,28 @@ VECTOR_SPECS = [
     "gshare(8,A2)",
 ]
 
-#: finite-HRT specs the kernels must refuse (order-dependent state sharing).
-SCALAR_ONLY_SPECS = [
+#: finite-HRT specs — vectorized by remapping each record to its *register*
+#: key (LRU replay for AHRT, hash re-keying for HHRT) before the bucket
+#: replay.  The tiny tables matter: with the six-pc record pool, AHRT(4,..)
+#: is one four-way set so traces touching all six pcs must evict (payload
+#: inheritance), and HHRT(4,..) folds six pcs onto four buckets (collision
+#: interference).
+FINITE_HRT_SPECS = [
     "AT(AHRT(512,6SR),PT(2^6,A2),)",
+    "AT(AHRT(4,6SR),PT(2^6,A2),)",
     "AT(HHRT(512,6SR),PT(2^6,A2),)",
+    "AT(HHRT(4,6SR),PT(2^6,A2),)",
     "LS(AHRT(256,A2),,)",
+    "LS(AHRT(4,A2),,)",
     "LS(HHRT(256,A2),,)",
+    "LS(HHRT(4,A2),,)",
     "ST(AHRT(512,8SR),PT(2^8,PB),Same)",
+    "ST(AHRT(4,8SR),PT(2^8,PB),Same)",
     "ST(HHRT(512,8SR),PT(2^8,PB),Same)",
+    "ST(HHRT(4,8SR),PT(2^8,PB),Same)",
 ]
+
+ALL_SPECS = VECTOR_SPECS + FINITE_HRT_SPECS
 
 #: small pc pool so random traces revisit branches (exercises bucket replay).
 _COND_RECORDS = st.lists(
@@ -87,7 +100,7 @@ def _scalar_stats(spec, packed, training_records=None):
 class TestKernelProperty:
     """Kernel == scalar engine on arbitrary conditional traces."""
 
-    @pytest.mark.parametrize("spec_text", VECTOR_SPECS)
+    @pytest.mark.parametrize("spec_text", ALL_SPECS)
     @given(records=_COND_RECORDS)
     @settings(deadline=None, max_examples=30)
     def test_stats_match_scalar(self, spec_text, records):
@@ -134,7 +147,7 @@ class TestKernelWorkloads:
     def test_full_spec_list_on_eqntott(self, eqntott_trace):
         packed = eqntott_trace.packed()
         records = eqntott_trace.records
-        for spec_text in VECTOR_SPECS:
+        for spec_text in ALL_SPECS:
             spec = parse_spec(spec_text)
             expected = _scalar_stats(spec, packed, training_records=records)
             assert simulate_spec(spec, packed, training=packed) == expected, spec_text
@@ -153,42 +166,51 @@ class TestKernelWorkloads:
             ), spec_text
 
 
-class TestScalarFallback:
-    """Finite-HRT specs must route to the scalar engine transparently."""
+class TestBackendDispatch:
+    """Every registry family is vectorizable; the scalar fallback only
+    fires for schemes the kernels have never heard of."""
 
-    @pytest.mark.parametrize("spec_text", SCALAR_ONLY_SPECS)
-    def test_not_vectorizable(self, spec_text):
-        assert not vectorizable(parse_spec(spec_text))
-
-    @pytest.mark.parametrize("spec_text", VECTOR_SPECS)
+    @pytest.mark.parametrize("spec_text", ALL_SPECS)
     def test_vectorizable(self, spec_text):
         assert vectorizable(parse_spec(spec_text))
 
     @needs_numpy
-    def test_choose_backend_falls_back(self):
-        assert choose_backend(parse_spec(SCALAR_ONLY_SPECS[0]), "vector") == "scalar"
+    def test_choose_backend_keeps_vector_for_finite_hrt(self):
+        assert choose_backend(parse_spec(FINITE_HRT_SPECS[0]), "vector") == "vector"
         assert choose_backend(parse_spec(VECTOR_SPECS[0]), "vector") == "vector"
 
     @needs_numpy
-    def test_kernel_refuses_finite_hrt(self, eqntott_trace):
+    def test_unknown_scheme_falls_back(self, eqntott_trace):
+        fake = parse_spec("BTFN")
+        object.__setattr__(fake, "scheme", "FutureScheme")
+        assert not vectorizable(fake)
+        assert choose_backend(fake, "vector") == "scalar"
         with pytest.raises(KernelError):
-            simulate_spec(parse_spec(SCALAR_ONLY_SPECS[0]), eqntott_trace.packed())
+            simulate_spec(fake, eqntott_trace.packed())
 
     @needs_numpy
-    def test_score_spec_fallback_identical(self, trace_cache, small_scale):
-        """An explicit vector request on an AHRT/HHRT spec silently scores
-        with the scalar engine and produces the scalar result."""
+    def test_finite_hrt_runner_backends_agree(self, trace_cache, small_scale):
+        """Explicit scalar and vector requests on AHRT/HHRT specs now both
+        execute (no silent fallback) and score bit-identically."""
         scalar = SweepRunner(
             ["eqntott"], small_scale, trace_cache, backend="scalar"
         )
         vector = SweepRunner(
             ["eqntott"], small_scale, trace_cache, backend="vector"
         )
-        for spec_text in SCALAR_ONLY_SPECS[:2]:
+        for spec_text in FINITE_HRT_SPECS[:2] + FINITE_HRT_SPECS[-2:]:
             assert (
                 scalar.run_one(spec_text, "eqntott").stats
                 == vector.run_one(spec_text, "eqntott").stats
             ), spec_text
+
+    @needs_numpy
+    def test_ahrt_geometry_validated(self, eqntott_trace):
+        # associativity (default 4) must divide entries
+        with pytest.raises(ConfigError):
+            simulate_spec(
+                parse_spec("AT(AHRT(6,4SR),PT(2^4,A2),)"), eqntott_trace.packed()
+            )
 
 
 class TestBackendResolution:

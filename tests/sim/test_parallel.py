@@ -63,7 +63,7 @@ class TestCacheWarming:
     def test_traces_written_once_to_shared_dir(self, tmp_path):
         cache = TraceCache(disk_dir=tmp_path / "traces")
         run_sweep(SPECS, BENCHMARKS, SCALE, cache, jobs=2)
-        trace_files = sorted(p.name for p in (tmp_path / "traces").glob("*.trc"))
+        trace_files = sorted(p.name for p in (tmp_path / "traces").glob("*.shard"))
         # eqntott test, li test, li train (for ST-Diff) — exactly once each
         assert len(trace_files) == 3
 

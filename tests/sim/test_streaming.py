@@ -41,9 +41,17 @@ STREAM_SPECS = [
     "ST(IHRT(,6SR),PT(2^6,PB),Same)",
     "GAg(6,A2)",
     "gshare(8,A2)",
+    # finite HRTs: the vector session carries an incremental LRU replay
+    # (AHRT) or re-keys by bucket hash (HHRT); tiny tables force evictions
+    # and collisions under the five-pc record pool
+    "AT(AHRT(64,4SR),PT(2^4,A2),)",
+    "AT(AHRT(4,4SR),PT(2^4,A2),)",
+    "AT(HHRT(4,4SR),PT(2^4,A2),)",
+    "LS(AHRT(4,A2),,)",
+    "LS(HHRT(4,A2),,)",
+    "ST(AHRT(4,6SR),PT(2^6,PB),Same)",
+    "ST(HHRT(4,6SR),PT(2^6,PB),Same)",
 ]
-
-SCALAR_ONLY = "AT(AHRT(64,4SR),PT(2^4,A2),)"
 
 _MIXED_RECORDS = st.lists(
     st.builds(
@@ -127,10 +135,12 @@ class TestChunkInvariance:
 
 
 class TestDispatch:
-    def test_scalar_fallback_for_finite_hrt(self):
-        scorer = make_scorer(SCALAR_ONLY, "vector" if has_numpy() else "scalar")
-        assert isinstance(scorer, ScalarStreamingScorer)
-        assert scorer.backend == "scalar"
+    @needs_numpy
+    def test_finite_hrt_gets_vector_session(self):
+        for spec_text in ("AT(AHRT(64,4SR),PT(2^4,A2),)", "LS(HHRT(64,A2),,)"):
+            scorer = make_scorer(spec_text, "vector")
+            assert isinstance(scorer, VectorStreamingScorer)
+            assert scorer.backend == "vector"
 
     @needs_numpy
     def test_vector_selected_when_possible(self):

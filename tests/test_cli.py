@@ -56,7 +56,7 @@ class TestSweep:
         serial_out = capsys.readouterr().out
         assert main(args + ["--jobs", "2"]) == 0
         assert capsys.readouterr().out == serial_out
-        assert list((tmp_path / "traces").glob("*.trc"))
+        assert list((tmp_path / "traces").glob("*.shard"))
 
     def test_sweep_no_cache(self, capsys):
         code = main(
@@ -232,3 +232,75 @@ class TestLint:
         ]) == 0
         out = capsys.readouterr().out
         assert "cross-validation" in out
+
+
+class TestCache:
+    def _populate(self, tmp_path, capsys):
+        assert main([
+            "sweep", "BTFN", "--scale", "300", "--benchmarks", "li",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+
+    def test_list_shows_shards_and_bound(self, tmp_path, capsys):
+        self._populate(tmp_path, capsys)
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 shard(s)" in out
+        assert "li-test-300-" in out
+        assert "bound" in out
+
+    def test_verify_clean(self, tmp_path, capsys):
+        self._populate(tmp_path, capsys)
+        assert main(["cache", "--cache-dir", str(tmp_path), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "0 corrupt" in out and "ok" in out
+
+    def test_verify_corrupt_exits_one(self, tmp_path, capsys):
+        self._populate(tmp_path, capsys)
+        shard = next(tmp_path.glob("*.shard"))
+        shard.write_bytes(shard.read_bytes()[:25])
+        assert main(["cache", "--cache-dir", str(tmp_path), "--verify"]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_evict_and_clear(self, tmp_path, capsys):
+        self._populate(tmp_path, capsys)
+        stem = next(tmp_path.glob("*.shard")).name[: -len(".shard")]
+        assert main(["cache", "--cache-dir", str(tmp_path), "--evict", stem]) == 0
+        assert "evicted" in capsys.readouterr().out
+        # evicting it again: no such shard -> exit 1
+        assert main(["cache", "--cache-dir", str(tmp_path), "--evict", stem]) == 1
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.shard"))
+
+    def test_disabled_cache_exits_two(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert main(["cache"]) == 2
+        assert "disabled" in capsys.readouterr().err
+
+
+class TestScaleParsing:
+    def test_paper_preset_accepted(self):
+        import argparse
+
+        from repro.cli import _scale_arg
+        from repro.workloads.base import PAPER_CONDITIONAL_BRANCHES
+
+        assert _scale_arg("paper") == PAPER_CONDITIONAL_BRANCHES
+        assert _scale_arg("5000") == 5000
+        import pytest
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _scale_arg("huge")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _scale_arg("0")
+
+    def test_bad_scale_is_usage_error(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "li", "--scale", "nonsense"])
+        assert excinfo.value.code == 2
+        assert "invalid scale" in capsys.readouterr().err
