@@ -30,10 +30,11 @@ figures:
 examples:
 	@for example in examples/*.py; do echo "== $$example"; $(PYTHON) $$example; done
 
-# Small end-to-end run of the prediction service: 4 concurrent sessions
-# against an in-process server, served-vs-offline parity verified.
+# Small end-to-end run of the prediction service: 6 sessions multiplexed
+# over 2 protocol-v2 connections into a 2-worker pre-fork pool,
+# served-vs-offline parity verified; appends a trend entry.
 serve-demo:
-	PYTHONPATH=src $(PYTHON) -m repro bench-serve --sessions 4 --scale 2000 -o BENCH_serve.json
+	PYTHONPATH=src $(PYTHON) -m repro bench-serve --sessions 6 --scale 2000 --workers 2 --connections 2 -o BENCH_serve.json
 
 clean:
 	rm -rf .trace_cache .pytest_cache .benchmarks .hypothesis

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -331,6 +332,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
     )
 
+    if args.workers > 1:
+        import signal as signal_module
+
+        from repro.serve.supervisor import Supervisor
+
+        supervisor = Supervisor(config, workers=args.workers)
+        supervisor.start()
+        print(
+            f"repro serve: listening on {supervisor.host}:{supervisor.port}"
+            f" across {args.workers} workers"
+            f" ({'SO_REUSEPORT' if supervisor.reuseport else 'inherited socket'},"
+            f" backend={args.backend or 'auto'},"
+            f" stats endpoint on port {supervisor.control_port})"
+        )
+        print("protocol: docs/serving.md; stop with SIGTERM/Ctrl-C (graceful drain)")
+        holder: dict = {}
+
+        def _drain(_signum: int, _frame: object) -> None:
+            holder["final"] = supervisor.stop(drain=True)
+
+        signal_module.signal(signal_module.SIGTERM, _drain)
+        signal_module.signal(signal_module.SIGINT, _drain)
+        supervisor.join()
+        final = (holder.get("final") or supervisor.stop())["aggregate"]
+        print(
+            f"drained: {final['sessions_total']} session(s),"
+            f" {final['records_served']} records served"
+            f" across {args.workers} worker(s)"
+        )
+        return 0
+
     async def _main() -> None:
         server = PredictionServer(config)
         await server.start()
@@ -343,7 +375,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print("protocol: docs/serving.md; stop with SIGTERM/Ctrl-C (graceful drain)")
         await server.wait_closed()
-        final = server.stats.as_dict(server.active_sessions)
+        final = server.stats.as_dict()
         print(
             f"drained: {final['sessions_total']} session(s),"
             f" {final['records_served']} records served"
@@ -351,6 +383,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     asyncio.run(_main())
     return 0
+
+
+def _compact_bench_sessions(sessions: list) -> list:
+    """Group identical per-session bench entries so BENCH_serve.json stays
+    readable when thousands of sessions ran."""
+    groups: dict = {}
+    for session in sessions:
+        key = (session["spec"], session["variant"], session["backend"])
+        group = groups.setdefault(
+            key,
+            {
+                "spec": session["spec"],
+                "variant": session["variant"],
+                "backend": session["backend"],
+                "sessions": 0,
+                "records": 0,
+                "frames": 0,
+                "accuracy": session["accuracy"],
+                "p50_ms": [],
+                "p99_ms": [],
+            },
+        )
+        group["sessions"] += 1
+        group["records"] += session["records"]
+        group["frames"] += session["frames"]
+        group["p50_ms"].append(session["latency"]["p50_ms"])
+        group["p99_ms"].append(session["latency"]["p99_ms"])
+    compacted = []
+    for group in groups.values():
+        p50s, p99s = sorted(group.pop("p50_ms")), sorted(group.pop("p99_ms"))
+        group["latency"] = {
+            "p50_ms_median": p50s[len(p50s) // 2],
+            "p99_ms_median": p99s[len(p99s) // 2],
+            "p99_ms_max": p99s[-1],
+        }
+        compacted.append(group)
+    return compacted
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -372,27 +441,55 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         backend=args.backend if args.backend != "auto" else None,
         verify=not args.no_verify,
         cache=_build_cache(args),
+        connections=args.connections,
+        workers=args.workers,
     )
+
+    import datetime
+
+    entry = {"date": datetime.date.today().isoformat(), **result}
+    if len(entry["sessions"]) > 16:
+        entry["sessions"] = _compact_bench_sessions(entry["sessions"])
+    entries: list = []
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                existing = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if isinstance(existing, dict) and isinstance(existing.get("entries"), list):
+            entries = existing["entries"]
+        elif isinstance(existing, dict) and existing:
+            # a pre-trend single-run payload becomes the first trend entry
+            entries = [{"date": None, **existing}]
+    entries.append(entry)
     with open(args.output, "w") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
+        json.dump({"entries": entries}, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
     totals = result["totals"]
     latency = totals["latency"]
     print(
-        f"bench-serve: {args.sessions} session(s), {totals['records']} records in"
+        f"bench-serve: {args.sessions} session(s) over"
+        f" {result['config']['connections']} connection(s),"
+        f" {args.workers} worker(s): {totals['records']} records in"
         f" {totals['wall_seconds']:.3f}s = {totals['records_per_sec']:.0f} records/s"
     )
     print(
         f"latency per frame: p50 {latency['p50_ms']:.2f} ms,"
-        f" p99 {latency['p99_ms']:.2f} ms (parity: {totals['parity']})"
+        f" p99 {latency['p99_ms']:.2f} ms over {latency['frames']} frames"
+        f" (parity: {totals['parity']})"
     )
-    for session in result["sessions"]:
+    shown = result["sessions"][:16]
+    for session in shown:
         print(
             f"  {session['spec']:38s} {session['variant']:14s}"
             f" [{session['backend']}] acc={session['accuracy']:.4f}"
             f" {session['records_per_sec']:>9.0f} rec/s"
         )
-    print(f"wrote {args.output}")
+    if len(result["sessions"]) > len(shown):
+        print(f"  ... and {len(result['sessions']) - len(shown)} more session(s)")
+    print(f"appended to {args.output} ({len(entries)} trend entries)")
     return 0
 
 
@@ -625,6 +722,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
         help="grace period for in-flight sessions on SIGTERM",
     )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="pre-fork N worker processes sharing the port (SO_REUSEPORT)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     bench_serve_parser = sub.add_parser(
@@ -661,6 +762,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve_parser.add_argument(
         "--no-verify", action="store_true",
         help="skip the served-vs-offline parity check",
+    )
+    bench_serve_parser.add_argument(
+        "--connections", type=int, default=None, metavar="N",
+        help="multiplex all sessions over N protocol-v2 connections"
+        " (default: one v1 connection per session)",
+    )
+    bench_serve_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="serve from a pre-fork pool of N worker processes",
     )
     bench_serve_parser.add_argument(
         "-o", "--output", default="BENCH_serve.json", help="result JSON path"

@@ -23,14 +23,30 @@ Control frames (``HELLO``, ``OK``, ``STATS``, ``ERROR``) carry UTF-8 JSON
 objects.  ``ERROR`` payloads are ``{"code": <ERROR_CODES entry>,
 "error": <message>}`` and map onto :class:`repro.errors.ProtocolError`.
 
-The session state machine (enforced by the server, mirrored by the
+The v1 session state machine (enforced by the server, mirrored by the
 clients)::
 
     connect -> HELLO -> OK -> [TRAIN ...] -> {RECORDS -> PREDICTIONS}* -> BYE -> STATS -> close
                                   (STATS_REQUEST -> STATS anywhere after OK)
 
+**Protocol v2 — session multiplexing.**  A HELLO carrying ``"version": 2``
+(and no spec) negotiates a multiplexed connection: the OK reply echoes
+``version`` and the granted ``max_sessions``, and every record-bearing
+frame thereafter carries a client-chosen 32-bit session id so one TCP
+connection can interleave thousands of logical predictor sessions:
+
+* ``OPEN`` / ``CLOSE`` (JSON) start and end a logical session — CLOSE is
+  answered with that session's final ``STATS``;
+* ``RECORDS2`` / ``TRAIN2`` prefix the v1 record payload with
+  ``uint32 session_id`` (:data:`SESSION_ID`); ``PREDICTIONS2`` answers
+  ``RECORDS2`` with the same prefix so clients can demultiplex;
+* ``BYE`` ends the whole connection, closing every remaining session.
+
+v1 single-session clients are untouched: a HELLO naming a spec (no
+``version`` field) behaves exactly as before.
+
 Any protocol violation earns the connection a single ``ERROR`` frame and a
-close; other sessions are unaffected.
+close; other connections are unaffected.
 """
 
 from __future__ import annotations
@@ -38,9 +54,12 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
+from array import array
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError, TraceFormatError
+from repro.sim.backend import numpy_or_none
+from repro.trace.columnar import PackedTrace
 from repro.trace.encoding import RECORD_SIZE, decode_record, encode_record
 from repro.trace.record import BranchRecord
 
@@ -54,10 +73,18 @@ __all__ = [
     "FRAME_STATS",
     "FRAME_BYE",
     "FRAME_ERROR",
+    "FRAME_OPEN",
+    "FRAME_CLOSE",
+    "FRAME_RECORDS2",
+    "FRAME_PREDICTIONS2",
+    "FRAME_TRAIN2",
     "FRAME_NAMES",
     "ERROR_CODES",
     "HEADER",
+    "SESSION_ID",
     "MAX_FRAME_BYTES",
+    "MAX_SESSION_ID",
+    "PROTOCOL_VERSION",
     "PRED_TAKEN",
     "PRED_ACTUAL",
     "PRED_CORRECT",
@@ -66,9 +93,14 @@ __all__ = [
     "pack_json",
     "pack_error",
     "pack_records",
+    "pack_records2",
+    "pack_predictions2",
+    "split_session_payload",
     "unpack_records",
+    "unpack_records_packed",
     "unpack_json",
     "encode_predictions",
+    "encode_predictions_fused",
     "decode_predictions",
     "read_frame",
     "read_frame_sync",
@@ -76,6 +108,15 @@ __all__ = [
 
 #: frame header: payload length + frame type.
 HEADER = struct.Struct("<IB")
+
+#: session-id prefix of v2 record-bearing frames (little-endian uint32).
+SESSION_ID = struct.Struct("<I")
+
+#: the newest protocol version a HELLO may negotiate.
+PROTOCOL_VERSION = 2
+
+#: largest client-chosen logical session id (fits the uint32 prefix).
+MAX_SESSION_ID = 0xFFFFFFFF
 
 #: default cap on a single frame's payload (server and client enforce it).
 MAX_FRAME_BYTES = 1 << 20
@@ -89,6 +130,12 @@ FRAME_STATS_REQUEST = 6
 FRAME_STATS = 7
 FRAME_BYE = 8
 FRAME_ERROR = 9
+# protocol v2 (session multiplexing)
+FRAME_OPEN = 10
+FRAME_CLOSE = 11
+FRAME_RECORDS2 = 12
+FRAME_PREDICTIONS2 = 13
+FRAME_TRAIN2 = 14
 
 FRAME_NAMES: Dict[int, str] = {
     FRAME_HELLO: "HELLO",
@@ -100,6 +147,11 @@ FRAME_NAMES: Dict[int, str] = {
     FRAME_STATS: "STATS",
     FRAME_BYE: "BYE",
     FRAME_ERROR: "ERROR",
+    FRAME_OPEN: "OPEN",
+    FRAME_CLOSE: "CLOSE",
+    FRAME_RECORDS2: "RECORDS2",
+    FRAME_PREDICTIONS2: "PREDICTIONS2",
+    FRAME_TRAIN2: "TRAIN2",
 }
 
 #: stable machine-readable error codes carried by ERROR frames.
@@ -109,6 +161,7 @@ ERROR_CODES = (
     "bad-hello",        # HELLO payload unparseable or missing fields
     "bad-spec",         # predictor spec string rejected by the registry
     "bad-backend",      # backend name unknown or unavailable
+    "bad-session",      # v2 session id unknown, duplicate, or over the cap
     "protocol",         # frame legal but out of order for the session state
     "timeout",          # connection idle past the server's read timeout
     "busy",             # server at its max-connections limit
@@ -158,6 +211,43 @@ def pack_records(
     return pack_frame(frame_type, b"".join(encode_record(record) for record in records))
 
 
+def pack_records2(
+    session_id: int,
+    records: Sequence[BranchRecord],
+    frame_type: int = FRAME_RECORDS2,
+) -> bytes:
+    """A v2 RECORDS2/TRAIN2 frame: session-id prefix + YPTRACE2 records."""
+    return pack_frame(
+        frame_type,
+        SESSION_ID.pack(session_id)
+        + b"".join(encode_record(record) for record in records),
+    )
+
+
+def pack_predictions2(session_id: int, prediction_bytes: bytes) -> bytes:
+    """A v2 PREDICTIONS2 frame: session-id prefix + prediction bytes."""
+    return pack_frame(
+        FRAME_PREDICTIONS2, SESSION_ID.pack(session_id) + prediction_bytes
+    )
+
+
+def split_session_payload(payload: bytes, frame_type: int) -> Tuple[int, bytes]:
+    """Split a v2 session-scoped payload into ``(session id, rest)``.
+
+    Raises :class:`ProtocolError` (code ``bad-frame``) when the payload is
+    too short to carry the session-id prefix.
+    """
+    if len(payload) < SESSION_ID.size:
+        name = FRAME_NAMES.get(frame_type, str(frame_type))
+        raise ProtocolError(
+            f"{name} payload of {len(payload)} bytes is too short for the"
+            f" {SESSION_ID.size}-byte session id",
+            "bad-frame",
+        )
+    (session_id,) = SESSION_ID.unpack_from(payload)
+    return session_id, payload[SESSION_ID.size:]
+
+
 def unpack_records(payload: bytes) -> List[BranchRecord]:
     """Decode a record frame's payload; raises :class:`ProtocolError` (code
     ``bad-frame``) when the payload is not whole valid records."""
@@ -172,6 +262,51 @@ def unpack_records(payload: bytes) -> List[BranchRecord]:
             decode_record(payload, offset)
             for offset in range(0, len(payload), RECORD_SIZE)
         ]
+    except TraceFormatError as exc:
+        raise ProtocolError(f"bad record in frame: {exc}", "bad-frame") from exc
+
+
+_ADDR_TYPECODE = "I" if array("I").itemsize >= 4 else "L"
+_WIRE_DTYPE = None  # built on first use; numpy may be absent
+
+
+def unpack_records_packed(payload: bytes) -> "Optional[PackedTrace]":
+    """Decode a record payload straight into a :class:`PackedTrace`.
+
+    The columnar twin of :func:`unpack_records`: the wire layout *is* an
+    interleaved array of 9-byte records, so NumPy splits it into columns
+    without materialising a :class:`BranchRecord` per record — the serve
+    tier's ingest fast path.  Flag validation (same rejections as
+    :func:`decode_record`) happens in :class:`PackedTrace` at C speed.
+    Returns None when NumPy is unavailable; callers fall back to
+    :func:`unpack_records`.
+    """
+    np = numpy_or_none()
+    if np is None:
+        return None
+    if len(payload) % RECORD_SIZE:
+        raise ProtocolError(
+            f"record payload of {len(payload)} bytes is not a multiple of the"
+            f" {RECORD_SIZE}-byte record size",
+            "bad-frame",
+        )
+    global _WIRE_DTYPE
+    if _WIRE_DTYPE is None:
+        _WIRE_DTYPE = np.dtype(
+            [("pc", "<u4"), ("flags", "u1"), ("target", "<u4")]
+        )
+    arr = np.frombuffer(payload, dtype=_WIRE_DTYPE)
+
+    def _column(values: Any) -> array:
+        col = array(_ADDR_TYPECODE)
+        kind = "=u4" if col.itemsize == 4 else "=u8"
+        col.frombytes(values.astype(kind, copy=False).tobytes())
+        return col
+
+    try:
+        return PackedTrace(
+            _column(arr["pc"]), _column(arr["target"]), arr["flags"].tobytes()
+        )
     except TraceFormatError as exc:
         raise ProtocolError(f"bad record in frame: {exc}", "bad-frame") from exc
 
@@ -195,6 +330,28 @@ def encode_predictions(
                 byte |= PRED_CORRECT
             out[index] = byte
     return bytes(out)
+
+
+def encode_predictions_fused(fused: Any) -> bytes:
+    """Vectorized twin of :func:`encode_predictions`.
+
+    ``fused`` is a :class:`repro.sim.streaming.FusedPredictions` (duck-typed
+    here to keep the protocol layer free of simulator imports): ``length``
+    records total, of which the conditionals at positions ``index`` carry
+    ``predicted``/``taken`` direction columns.  Non-conditional positions
+    encode as ``PRED_SKIPPED``; byte semantics are identical to the scalar
+    encoder.  Requires NumPy (only reachable via the packed ingest path).
+    """
+    np = numpy_or_none()
+    out = np.full(fused.length, PRED_SKIPPED, dtype=np.uint8)
+    if len(fused.index):
+        predicted = fused.predicted.astype(bool, copy=False)
+        taken = fused.taken.astype(bool, copy=False)
+        byte = np.where(predicted, PRED_TAKEN, 0).astype(np.uint8)
+        byte |= np.where(taken, PRED_ACTUAL, 0).astype(np.uint8)
+        byte |= np.where(predicted == taken, PRED_CORRECT, 0).astype(np.uint8)
+        out[fused.index] = byte
+    return out.tobytes()
 
 
 def decode_predictions(payload: bytes) -> "List[Optional[Tuple[bool, bool, bool]]]":

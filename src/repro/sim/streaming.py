@@ -30,7 +30,7 @@ same predictions and statistics as ``feed(a + b)``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence, Union
 
 from repro.errors import ConfigError
 from repro.predictors.automata import A2
@@ -47,13 +47,19 @@ from repro.sim.kernels import (
     choose_backend,
 )
 from repro.sim.results import PredictionStats
+from repro.trace.columnar import _CLS_MASK, PackedTrace
 from repro.trace.record import BranchClass, BranchRecord
 
 __all__ = [
     "StreamingScorer",
     "ScalarStreamingScorer",
     "VectorStreamingScorer",
+    "FusedPredictions",
+    "MultiSessionScorer",
+    "ScalarMultiSessionScorer",
+    "VectorMultiSessionScorer",
     "make_scorer",
+    "make_multi_scorer",
     "needs_training",
 ]
 
@@ -424,6 +430,508 @@ class VectorStreamingScorer(StreamingScorer):
                 np, index, taken, spec.pt_automaton or A2, self._pt_states
             )
         raise ConfigError(f"no streaming vector kernel for {spec.canonical()!r}")
+
+
+# ----------------------------------------------------------------------
+# cross-session batch fusion
+# ----------------------------------------------------------------------
+#: per-session namespace shift: wire records carry 32-bit pcs, so
+#: ``(slot << 32) | key`` is collision-free for every per-branch key space
+#: (addresses, HHRT slots, AHRT register ids, history patterns).
+_NS_SHIFT = 32
+_NS_LIMIT = 1 << _NS_SHIFT
+
+#: schemes whose per-branch keys are derived from the pc and therefore
+#: require pcs below the namespace limit to fuse (always true on the wire).
+_PC_KEYED_SCHEMES = ("Profile", "LS", "AT", "ST")
+
+
+class FusedPredictions(NamedTuple):
+    """Columnar prediction result for one :class:`PackedTrace` batch.
+
+    ``length`` records were submitted; the conditionals among them sit at
+    positions ``index`` (ascending) and carry a predicted-direction column
+    and the echoed actual-outcome column.  Equivalent to the list form —
+    position ``index[j]`` holds ``bool(predicted[j])``, every other
+    position ``None`` — without boxing a Python object per record.
+    """
+
+    length: int
+    index: Any  # intp array: positions of the conditional records
+    predicted: Any  # bool array, one entry per conditional
+    taken: Any  # int8 array: actual outcomes, aligned with ``predicted``
+
+    def to_list(self) -> "List[Optional[bool]]":
+        out: "List[Optional[bool]]" = [None] * self.length
+        for position, prediction in zip(self.index, self.predicted):
+            out[position] = bool(prediction)
+        return out
+
+
+class MultiSessionScorer:
+    """Many concurrent scoring sessions of *one* spec, fed as fused batches.
+
+    The serve tier's cross-session fusion primitive: every open session
+    shares this object with all other sessions of the same spec+backend,
+    and a single :meth:`feed_many` call scores queued record batches from
+    *all* of them at once.  Per-session state is namespaced so sessions
+    never read each other's predictor state — the predictions (and the
+    per-session :class:`~repro.sim.results.PredictionStats`) are bit-exact
+    with running each session through its own
+    :class:`StreamingScorer`, under any chunking and any interleaving of
+    sessions within and across ``feed_many`` calls.
+    """
+
+    backend = "scalar"
+
+    def __init__(self, spec: SpecLike):
+        self.spec = _as_spec(spec)
+
+    # -- session lifecycle ---------------------------------------------
+    def open_session(
+        self,
+        key: int,
+        training_records: Optional[Iterable[BranchRecord]] = None,
+    ) -> None:
+        """Start a new logical session under the caller-chosen ``key``."""
+        raise NotImplementedError
+
+    def close_session(self, key: int) -> PredictionStats:
+        """End session ``key``, free its state, return its final stats."""
+        raise NotImplementedError
+
+    def session_stats(self, key: int) -> PredictionStats:
+        raise NotImplementedError
+
+    @property
+    def active(self) -> int:
+        raise NotImplementedError
+
+    def feed_many(self, batches: "Sequence[tuple]") -> "List[Any]":
+        """Score ``[(session key, records), ...]`` as one fused batch.
+
+        Batches appear in arrival order; several batches may name the same
+        session (pipelined frames) and are scored in list order.  Returns
+        one result per input batch, aligned with its records: a prediction
+        list for record-list batches, and (on the vector engine) a
+        :class:`FusedPredictions` for :class:`PackedTrace` batches — the
+        columnar path never boxes per-record Python objects end to end.
+        """
+        raise NotImplementedError
+
+
+class ScalarMultiSessionScorer(MultiSessionScorer):
+    """Fusion-shaped facade over independent scalar sessions.
+
+    The scalar engine has no batch dispatch to amortise, so "fusion" here
+    is simply feeding each batch to its session's
+    :class:`ScalarStreamingScorer` — same interface, same per-session
+    results, used when NumPy is absent or the backend resolves scalar.
+    """
+
+    backend = "scalar"
+
+    def __init__(self, spec: SpecLike):
+        super().__init__(spec)
+        self._sessions: Dict[int, ScalarStreamingScorer] = {}
+
+    def open_session(
+        self,
+        key: int,
+        training_records: Optional[Iterable[BranchRecord]] = None,
+    ) -> None:
+        if key in self._sessions:
+            raise ConfigError(f"session {key} is already open")
+        self._sessions[key] = ScalarStreamingScorer(self.spec, training_records)
+
+    def close_session(self, key: int) -> PredictionStats:
+        return self._sessions.pop(key).stats
+
+    def session_stats(self, key: int) -> PredictionStats:
+        return self._sessions[key].stats
+
+    @property
+    def active(self) -> int:
+        return len(self._sessions)
+
+    def feed_many(
+        self, batches: "Sequence[tuple]"
+    ) -> "List[List[Optional[bool]]]":
+        out = []
+        for key, records in batches:
+            scorer = self._sessions.get(key)
+            if scorer is None:
+                raise ConfigError(f"session {key} is not open")
+            out.append(scorer.feed(records))
+        return out
+
+
+class VectorMultiSessionScorer(MultiSessionScorer):
+    """Cross-session fusion on the carried-state NumPy kernels.
+
+    Each open session owns a *slot* — a compact namespace index — and every
+    per-branch key the kernels bucket by is prefixed with it:
+
+    * per-address keys (branch pc, HHRT slot, AHRT register id) become
+      ``(slot << 32) | key`` — disjoint int64 ranges, so the stable
+      segmented sort that makes per-bucket replay exact (see
+      :mod:`repro.sim.kernels`) simultaneously isolates sessions and
+      preserves each session's own stream order;
+    * pattern-table state lives in one dense array of ``2**k`` rows per
+      slot, indexed by ``(slot << k) | pattern``;
+    * the global history register of GAg/gshare is carried *per slot* by
+      reusing the per-branch history machinery with the slot itself as the
+      bucket key — a session's global history is just a "branch" whose
+      address is the session;
+    * an AHRT session keeps its own carried
+      :class:`~repro.sim.kernels.AhrtReplay`, advanced over the session's
+      records only (extracted from the fused batch in stream order), so
+      LRU state never leaks between sessions.
+
+    Slots are recycled: closing a session sweeps its dict entries and a
+    reopened slot's dense rows are re-initialised, so long-running servers
+    hold state proportional to *open* sessions only.
+    """
+
+    backend = "vector"
+
+    def __init__(self, spec: SpecLike):
+        super().__init__(spec)
+        np = _np()
+        spec = self.spec
+        scheme = spec.scheme
+        self._slots: Dict[int, int] = {}
+        self._free: List[int] = []
+        self._capacity = 0
+        self._stats: Dict[int, PredictionStats] = {}
+        self._guard_pc = scheme in _PC_KEYED_SCHEMES
+        self._ahrt_template = None
+        if scheme in ("AT", "ST", "LS"):
+            if spec.hrt_kind == "AHRT":
+                assert spec.hrt_entries is not None
+                # validate the geometry once; sessions clone fresh replays
+                AhrtReplay(spec.hrt_entries, spec.hrt_associativity)
+                self._ahrt_template = (spec.hrt_entries, spec.hrt_associativity)
+            elif spec.hrt_kind == "HHRT" and (spec.hrt_entries or 0) < 1:
+                raise ConfigError("HHRT entries must be >= 1")
+        self._ahrt: Dict[int, AhrtReplay] = {}
+        if scheme in ("AT", "ST"):
+            assert spec.history_length is not None
+            self._histories: Dict[int, int] = {}
+        if scheme == "AT":
+            assert spec.pt_automaton is not None
+            self._pt_bits = spec.history_length
+            self._pt_init = spec.pt_automaton.init_state
+            self._pt_states = np.zeros(0, dtype=np.intp)
+        elif scheme == "ST":
+            self._preset = np.zeros((0, 1 << spec.history_length), dtype=bool)
+        elif scheme == "LS":
+            assert spec.hrt_automaton is not None
+            self._site_states: Dict[int, int] = {}
+        elif scheme == "Profile":
+            self._profiles: Dict[int, "tuple"] = {}
+            self._profile_keys = None
+            self._profile_bias = None
+        elif scheme in ("GAg", "gshare"):
+            assert spec.history_length is not None
+            self._ghist: Dict[int, int] = {}
+            self._ghist_init = (
+                (1 << spec.history_length) - 1 if scheme == "GAg" else 0
+            )
+            self._pt_bits = spec.history_length
+            self._pt_init = (spec.pt_automaton or A2).init_state
+            self._pt_states = np.zeros(0, dtype=np.intp)
+        elif scheme not in ("AlwaysTaken", "AlwaysNotTaken", "BTFN", "AT", "ST", "LS"):
+            raise ConfigError(f"no streaming vector kernel for {spec.canonical()!r}")
+
+    # -- session lifecycle ---------------------------------------------
+    def open_session(
+        self,
+        key: int,
+        training_records: Optional[Iterable[BranchRecord]] = None,
+    ) -> None:
+        np = _np()
+        if key in self._slots:
+            raise ConfigError(f"session {key} is already open")
+        spec = self.spec
+        if needs_training(spec) and training_records is None:
+            raise ConfigError(
+                f"{spec.canonical()}: session needs training records before scoring"
+            )
+        scheme = spec.scheme
+        # derive training-dependent state *before* allocating the slot so a
+        # bad open (unusable training records) leaks nothing
+        preset_row = profile = None
+        if scheme == "ST":
+            assert training_records is not None
+            t_pc, t_taken = VectorStreamingScorer._training_columns(
+                np, training_records
+            )
+            preset_row = _preset_bits(np, (t_pc, t_taken), spec.history_length)
+        elif scheme == "Profile":
+            assert training_records is not None
+            t_pc, t_taken = VectorStreamingScorer._training_columns(
+                np, training_records
+            )
+            if len(t_pc) and (
+                int(t_pc.min()) < 0 or int(t_pc.max()) >= _NS_LIMIT
+            ):
+                raise ConfigError("fused sessions require pcs below 2^32")
+            profile = _profile_bias(np, (t_pc, t_taken))
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self._capacity
+            if slot >= _NS_LIMIT:
+                raise ConfigError("too many concurrent sessions to namespace")
+            self._capacity += 1
+            self._grow(np)
+        if scheme in ("AT", "GAg", "gshare"):
+            bits = self._pt_bits
+            self._pt_states[slot << bits:(slot + 1) << bits] = self._pt_init
+        if self._ahrt_template is not None:
+            self._ahrt[slot] = AhrtReplay(*self._ahrt_template)
+        if preset_row is not None:
+            self._preset[slot] = preset_row
+        if profile is not None:
+            self._profiles[slot] = profile
+            self._profile_keys = None  # combined table is stale
+        self._slots[key] = slot
+        self._stats[key] = PredictionStats()
+
+    def close_session(self, key: int) -> PredictionStats:
+        if key not in self._slots:
+            raise ConfigError(f"session {key} is not open")
+        slot = self._slots.pop(key)
+        scheme = self.spec.scheme
+        if scheme in ("AT", "ST"):
+            self._sweep(self._histories, slot)
+        if scheme == "LS":
+            self._sweep(self._site_states, slot)
+        if scheme in ("GAg", "gshare"):
+            self._ghist.pop(slot, None)
+        if scheme == "Profile":
+            self._profiles.pop(slot, None)
+            self._profile_keys = None
+        self._ahrt.pop(slot, None)
+        self._free.append(slot)
+        return self._stats.pop(key)
+
+    def session_stats(self, key: int) -> PredictionStats:
+        return self._stats[key]
+
+    @property
+    def active(self) -> int:
+        return len(self._slots)
+
+    def _grow(self, np: Any) -> None:
+        """Extend the dense per-slot tables for one more slot."""
+        scheme = self.spec.scheme
+        if scheme in ("AT", "GAg", "gshare"):
+            block = np.full(1 << self._pt_bits, self._pt_init, dtype=np.intp)
+            self._pt_states = np.concatenate([self._pt_states, block])
+        elif scheme == "ST":
+            row = np.zeros((1, self._preset.shape[1]), dtype=bool)
+            self._preset = np.concatenate([self._preset, row])
+
+    @staticmethod
+    def _sweep(table: Dict[int, int], slot: int) -> None:
+        """Drop a closed slot's namespaced keys from a carried-state dict."""
+        prefix = slot << _NS_SHIFT
+        stale = [key for key in table if key & ~(_NS_LIMIT - 1) == prefix]
+        for key in stale:
+            del table[key]
+
+    # -- fused scoring --------------------------------------------------
+    def feed_many(self, batches: "Sequence[tuple]") -> "List[Any]":
+        np = _np()
+        CONDITIONAL = BranchClass.CONDITIONAL
+        # Normalise every batch to conditional-only columns.  PackedTrace
+        # batches (the serve tier's wire fast path) stay columnar end to
+        # end; record lists go through the boxed extraction loop.
+        cols = []  # (length, index, pc, target, taken, packed)
+        slot_of = []
+        for key, records in batches:
+            slot = self._slots.get(key)
+            if slot is None:
+                raise ConfigError(f"session {key} is not open")
+            slot_of.append(slot)
+            if isinstance(records, PackedTrace):
+                flags = np.frombuffer(records.flags, dtype=np.uint8)
+                index = np.nonzero((flags & _CLS_MASK) == 0)[0]
+                pc = np.asarray(records.pc)[index].astype(np.int64)
+                target = np.asarray(records.target)[index].astype(np.int64)
+                taken = (flags[index] & 1).astype(np.int8)
+                cols.append((len(records), index, pc, target, taken, True))
+            else:
+                idx, pcs, targets, takens = [], [], [], []
+                for i, record in enumerate(records):
+                    if record.cls is CONDITIONAL:
+                        idx.append(i)
+                        pcs.append(record.pc)
+                        targets.append(record.target)
+                        takens.append(1 if record.taken else 0)
+                cols.append(
+                    (
+                        len(records),
+                        np.asarray(idx, dtype=np.intp),
+                        np.asarray(pcs, dtype=np.int64),
+                        np.asarray(targets, dtype=np.int64),
+                        np.asarray(takens, dtype=np.int8),
+                        False,
+                    )
+                )
+        counts = [len(entry[1]) for entry in cols]
+        total = sum(counts)
+        if total:
+            pc = np.concatenate([entry[2] for entry in cols])
+            target = np.concatenate([entry[3] for entry in cols])
+            taken = np.concatenate([entry[4] for entry in cols])
+            slots = np.repeat(np.asarray(slot_of, dtype=np.int64), counts)
+            if self._guard_pc and (
+                int(pc.min()) < 0 or int(pc.max()) >= _NS_LIMIT
+            ):
+                raise ConfigError("fused sessions require pcs below 2^32")
+            predictions = self._predict_fused(np, slots, pc, target, taken)
+            correct = predictions == taken.astype(bool)
+        else:
+            predictions = np.zeros(0, dtype=bool)
+            correct = predictions
+        outs: "List[Any]" = []
+        start = 0
+        for b, (key, _records) in enumerate(batches):
+            length, index, _pc, _target, batch_taken, packed = cols[b]
+            stop = start + counts[b]
+            stats = self._stats[key]
+            stats.conditional_total += counts[b]
+            stats.conditional_correct += int(correct[start:stop].sum())
+            if packed:
+                outs.append(
+                    FusedPredictions(
+                        length, index, predictions[start:stop], batch_taken
+                    )
+                )
+            else:
+                out: "List[Optional[bool]]" = [None] * length
+                for j in range(start, stop):
+                    out[index[j - start]] = bool(predictions[j])
+                outs.append(out)
+            start = stop
+        return outs
+
+    def _hrt_fused_keys(self, np: Any, slots: Any, pc: Any) -> Any:
+        """Namespaced bucket keys for the fused batch's HRT front-end."""
+        spec = self.spec
+        if self._ahrt_template is not None:
+            keys = np.empty(len(pc), dtype=np.int64)
+            for slot in np.unique(slots):
+                mask = slots == slot
+                keys[mask] = self._ahrt[int(slot)].assign(np, pc[mask])
+        elif spec.hrt_kind == "HHRT":
+            assert spec.hrt_entries is not None
+            keys = _hash_buckets(np, pc, spec.hrt_entries)
+        else:
+            keys = pc
+        return (slots << _NS_SHIFT) | keys
+
+    def _predict_fused(
+        self, np: Any, slots: Any, pc: Any, target: Any, taken: Any
+    ) -> Any:
+        spec = self.spec
+        scheme = spec.scheme
+        if scheme == "AlwaysTaken":
+            return np.ones(len(pc), dtype=bool)
+        if scheme == "AlwaysNotTaken":
+            return np.zeros(len(pc), dtype=bool)
+        if scheme == "BTFN":
+            return target < pc
+        if scheme == "Profile":
+            if self._profile_keys is None:
+                self._rebuild_profile(np)
+            combined_keys, bias = self._profile_keys, self._profile_bias
+            if len(combined_keys) == 0:
+                return np.ones(len(pc), dtype=bool)
+            queries = (slots << _NS_SHIFT) | pc
+            found = np.searchsorted(combined_keys, queries)
+            clamped = np.minimum(found, len(combined_keys) - 1)
+            known = (found < len(combined_keys)) & (
+                combined_keys[clamped] == queries
+            )
+            return np.where(known, bias[clamped], True)
+        if scheme == "LS":
+            keys = self._hrt_fused_keys(np, slots, pc)
+            return _fsm_predictions_carried(
+                np, keys, taken, spec.hrt_automaton, self._site_states
+            )
+        if scheme in ("AT", "ST"):
+            assert spec.history_length is not None
+            mask = (1 << spec.history_length) - 1
+            keys = self._hrt_fused_keys(np, slots, pc)
+            patterns = _branch_histories_carried(
+                np, keys, taken, spec.history_length, self._histories, mask
+            )
+            if scheme == "ST":
+                return self._preset[slots, patterns]
+            return _fsm_predictions_carried(
+                np,
+                (slots << self._pt_bits) | patterns,
+                taken,
+                spec.pt_automaton,
+                self._pt_states,
+            )
+        if scheme in ("GAg", "gshare"):
+            assert spec.history_length is not None
+            mask = (1 << spec.history_length) - 1
+            # per-session global history: the slot is the bucket key, so the
+            # per-branch carried-history kernel gives each session its own
+            # register with zero cross-talk
+            histories = _branch_histories_carried(
+                np, slots, taken, spec.history_length, self._ghist,
+                self._ghist_init,
+            )
+            if scheme == "gshare":
+                index = ((pc >> 2) ^ histories) & mask
+            else:
+                index = histories
+            return _fsm_predictions_carried(
+                np,
+                (slots << self._pt_bits) | index,
+                taken,
+                spec.pt_automaton or A2,
+                self._pt_states,
+            )
+        raise ConfigError(f"no streaming vector kernel for {spec.canonical()!r}")
+
+    def _rebuild_profile(self, np: Any) -> None:
+        """Merge the per-slot profile tables into one sorted combined table."""
+        keys, bias = [], []
+        for slot, (unique_pc, slot_bias) in self._profiles.items():
+            keys.append((slot << _NS_SHIFT) | unique_pc)
+            bias.append(slot_bias)
+        if keys:
+            combined = np.concatenate(keys)
+            combined_bias = np.concatenate(bias)
+            order = np.argsort(combined)
+            self._profile_keys = combined[order]
+            self._profile_bias = combined_bias[order]
+        else:
+            self._profile_keys = np.zeros(0, dtype=np.int64)
+            self._profile_bias = np.zeros(0, dtype=bool)
+
+
+def make_multi_scorer(
+    spec: SpecLike, backend: Optional[str] = None
+) -> MultiSessionScorer:
+    """Build the fused multi-session scorer for ``spec`` on ``backend``.
+
+    Backend resolution matches :func:`make_scorer` exactly, so a fusion
+    group and the equivalent independent sessions always score on the same
+    engine — and therefore produce identical predictions.
+    """
+    parsed = _as_spec(spec)
+    if choose_backend(parsed, backend) == "vector":
+        return VectorMultiSessionScorer(parsed)
+    return ScalarMultiSessionScorer(parsed)
 
 
 def make_scorer(

@@ -20,8 +20,12 @@ from repro.predictors.spec import parse_spec
 from repro.sim.backend import has_numpy
 from repro.sim.engine import simulate
 from repro.sim.streaming import (
+    FusedPredictions,
+    ScalarMultiSessionScorer,
     ScalarStreamingScorer,
+    VectorMultiSessionScorer,
     VectorStreamingScorer,
+    make_multi_scorer,
     make_scorer,
     needs_training,
 )
@@ -174,3 +178,134 @@ class TestDispatch:
         assert predictions[0] is None and predictions[-1] is None
         assert predictions[1:4] == [True, True, True]
         assert scorer.stats.conditional_total == 3
+
+
+@needs_numpy
+class TestMultiSessionFusion:
+    """feed_many over N namespaced sessions == N independent scorers.
+
+    The cross-session fusion invariant (see
+    :class:`repro.sim.streaming.MultiSessionScorer`): any interleaving of
+    per-session batches through one fused scorer is bit-exact with running
+    each session through its own :class:`StreamingScorer`, record lists and
+    :class:`PackedTrace` columns alike.
+    """
+
+    @pytest.mark.parametrize("spec_text", STREAM_SPECS)
+    @given(
+        streams=st.lists(_MIXED_RECORDS, min_size=2, max_size=4),
+        seed=st.integers(0, 2**16),
+        packed=st.booleans(),
+    )
+    @settings(deadline=None, max_examples=20)
+    def test_interleaved_equals_independent(self, spec_text, streams, seed, packed):
+        spec = parse_spec(spec_text)
+        fused = make_multi_scorer(spec, "vector")
+        references = {}
+        for key, records in enumerate(streams):
+            training = records if needs_training(spec) else None
+            fused.open_session(key, training)
+            references[key] = make_scorer(spec, "vector", training_records=training)
+
+        # chop every stream at random boundaries, then interleave the
+        # chunks randomly across feed_many calls of random width
+        rng = random.Random(seed)
+        queue = []
+        for key, records in enumerate(streams):
+            start = 0
+            while start < len(records):
+                size = rng.randint(1, max(1, len(records) // 3))
+                queue.append((key, records[start:start + size]))
+                start += size
+        rng.shuffle_keyed = None  # keep per-session order: shuffle by merge
+        merged = []
+        cursors = {key: [c for c in queue if c[0] == key] for key in references}
+        while any(cursors.values()):
+            key = rng.choice([k for k, v in cursors.items() if v])
+            merged.append(cursors[key].pop(0))
+
+        served = {key: [] for key in references}
+        position = 0
+        while position < len(merged):
+            width = rng.randint(1, 3)
+            call = merged[position:position + width]
+            if packed:
+                call = [(key, pack_records(chunk)) for key, chunk in call]
+            position += width
+            for (key, _chunk), result in zip(call, fused.feed_many(call)):
+                if isinstance(result, FusedPredictions):
+                    result = result.to_list()
+                served[key].extend(result)
+
+        for key, records in enumerate(streams):
+            expected = references[key].feed(records)
+            assert served[key] == expected, f"{spec_text} session {key}"
+            assert fused.session_stats(key) == references[key].stats
+            assert fused.close_session(key) == references[key].stats
+
+    @pytest.mark.parametrize("spec_text", STREAM_SPECS)
+    def test_scalar_facade_matches_vector(self, spec_text, periodic_trace):
+        records = periodic_trace[:120]
+        spec = parse_spec(spec_text)
+        training = records if needs_training(spec) else None
+        scalar = make_multi_scorer(spec, "scalar")
+        vector = make_multi_scorer(spec, "vector")
+        assert isinstance(scalar, ScalarMultiSessionScorer)
+        assert isinstance(vector, VectorMultiSessionScorer)
+        for fused in (scalar, vector):
+            fused.open_session(7, training)
+        batches = [(7, records[:50]), (7, records[50:])]
+        flat_scalar = [p for out in scalar.feed_many(batches) for p in out]
+        flat_vector = [p for out in vector.feed_many(batches) for p in out]
+        assert flat_scalar == flat_vector
+        assert scalar.close_session(7) == vector.close_session(7)
+
+    def test_slot_recycling_reinitialises_state(self, periodic_trace):
+        records = periodic_trace[:80]
+        fused = make_multi_scorer("AT(IHRT(,6SR),PT(2^6,A2),)", "vector")
+        fused.open_session(1)
+        first = [p for out in fused.feed_many([(1, records)]) for p in out]
+        fused.close_session(1)
+        # the recycled slot must start from pristine predictor state
+        fused.open_session(2)
+        second = [p for out in fused.feed_many([(2, records)]) for p in out]
+        assert first == second
+        fused.close_session(2)
+        assert fused.active == 0
+
+    def test_mid_stream_close_leaves_others_exact(self, periodic_trace):
+        records = periodic_trace[:90]
+        fused = make_multi_scorer("gshare(8,A2)", "vector")
+        reference = make_scorer("gshare(8,A2)", "vector")
+        fused.open_session(0)
+        fused.open_session(1)
+        served = []
+        served.extend(fused.feed_many([(0, records[:30]), (1, records[:30])])[0])
+        fused.close_session(1)  # session 0 must not notice
+        served.extend(fused.feed_many([(0, records[30:])])[0])
+        assert served == reference.feed(records)
+        assert fused.close_session(0) == reference.stats
+
+    def test_unknown_session_rejected(self):
+        fused = make_multi_scorer("BTFN", "vector")
+        with pytest.raises(ConfigError, match="not open"):
+            fused.feed_many([(9, [])])
+        with pytest.raises(ConfigError, match="not open"):
+            fused.close_session(9)
+        fused.open_session(3)
+        with pytest.raises(ConfigError, match="already open"):
+            fused.open_session(3)
+
+    def test_fused_predictions_shape(self, periodic_trace):
+        call = BranchRecord(
+            pc=0x9000, cls=BranchClass.IMM_UNCONDITIONAL, taken=True,
+            target=0x100, is_call=True,
+        )
+        records = [call] + periodic_trace[:3] + [call]
+        fused = make_multi_scorer("AlwaysTaken", "vector")
+        fused.open_session(0)
+        (result,) = fused.feed_many([(0, pack_records(records))])
+        assert isinstance(result, FusedPredictions)
+        assert result.length == 5
+        assert list(result.index) == [1, 2, 3]
+        assert result.to_list() == [None, True, True, True, None]
