@@ -1,7 +1,7 @@
 # Common developer targets.
 PYTHON ?= python
 
-.PHONY: install test lint bench figures examples serve-demo clean
+.PHONY: install test lint analyze bench figures examples serve-demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,13 @@ lint:
 		$(PYTHON) -m mypy; \
 	else echo "mypy not installed; skipping (pip install mypy)"; fi
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint
+
+# Predictability analysis cross-validated against the simulator: every
+# conditional site's dynamic per-scheme accuracy must land inside its
+# static bound and the static H2P top-5 must match the dynamic ranking,
+# for all 14 workload variants.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro.cli analyze --cross-validate --scale 8000
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -106,6 +106,17 @@ def static_branch_table(program: Program) -> List[BranchSite]:
     return sites
 
 
+def conditional_sites(program: Program) -> List[BranchSite]:
+    """The conditional subset of :func:`static_branch_table`, in address
+    order — the population the predictability analysis classifies (every
+    conditional site has an encoded target, so ``target`` is never None)."""
+    return [
+        site
+        for site in static_branch_table(program)
+        if site.cls is BranchClass.CONDITIONAL
+    ]
+
+
 def static_branch_summary(program: Program) -> Dict[str, int]:
     """Aggregate counts over :func:`static_branch_table`.
 

@@ -336,6 +336,97 @@ class ControlFlowGraph:
                     components.append(frozenset(component))
         return components
 
+    def post_dominators(
+        self, edge_kinds: Optional[FrozenSet[str]] = None
+    ) -> Dict[int, Optional[int]]:
+        """Immediate post-dominator of each block, over a kind-filtered view.
+
+        The reverse graph is rooted at a single virtual exit collecting
+        every block with no (kept) successors — halts, and ``rts`` when
+        RETURN edges are filtered out.  Blocks whose immediate
+        post-dominator is the virtual exit map to ``None``; blocks that
+        cannot reach any exit (never-terminating cycles) are absent.
+
+        ``edge_kinds`` restricts the edges considered; passing the
+        intraprocedural kinds (taken / fallthrough / continuation /
+        indirect) yields the within-procedure join points the abstract
+        interpreter skips to — calls are summarised by their continuation,
+        exactly because every generated subroutine returns.
+        """
+        kept = [
+            edge
+            for edge in self.edges
+            if edge_kinds is None or edge.kind in edge_kinds
+        ]
+        succ: Dict[int, List[int]] = {start: [] for start in self.blocks}
+        for edge in kept:
+            succ[edge.src].append(edge.dst)
+        virtual_exit = -1
+        exits = sorted(start for start in self.blocks if not succ[start])
+        # Reverse-graph adjacency: virtual exit -> exits, dst -> src.
+        rsucc: Dict[int, List[int]] = {virtual_exit: exits}
+        rpred: Dict[int, List[int]] = {virtual_exit: []}
+        for start in self.blocks:
+            rsucc[start] = []
+            rpred[start] = []
+        for edge in kept:
+            rsucc[edge.dst].append(edge.src)
+            rpred[edge.src].append(edge.dst)
+        for start in exits:
+            rpred[start].append(virtual_exit)
+
+        seen: Set[int] = {virtual_exit}
+        order: List[int] = []
+        stack: List[Tuple[int, Iterator[int]]] = [
+            (virtual_exit, iter(rsucc[virtual_exit]))
+        ]
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, iter(rsucc[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                order.append(node)
+        order.reverse()
+        position = {node: index for index, node in enumerate(order)}
+        ipdom: Dict[int, int] = {virtual_exit: virtual_exit}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while position[a] > position[b]:
+                    a = ipdom[a]
+                while position[b] > position[a]:
+                    b = ipdom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                if node == virtual_exit:
+                    continue
+                new_ipdom: Optional[int] = None
+                for pred in rpred[node]:
+                    if pred in ipdom and pred in position:
+                        new_ipdom = (
+                            pred
+                            if new_ipdom is None
+                            else intersect(pred, new_ipdom)
+                        )
+                if new_ipdom is not None and ipdom.get(node) != new_ipdom:
+                    ipdom[node] = new_ipdom
+                    changed = True
+        return {
+            node: (None if value == virtual_exit else value)
+            for node, value in ipdom.items()
+            if node != virtual_exit
+        }
+
     def label_for(self, address: int) -> Optional[str]:
         """Best symbolic name for a text address: the nearest preceding
         label, with a ``+offset`` suffix when not exact."""

@@ -22,11 +22,23 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.isa.program import Program
-from repro.predictors.static_schemes import BTFNPredictor
+from repro.predictors.static_schemes import BTFNPredictor, ProfilePredictor
+from repro.sim.analysis import (
+    accuracy_within_bounds,
+    per_site_accuracy_many,
+    top_mispredicted,
+)
 from repro.sim.engine import simulate
 from repro.trace.record import BranchClass, BranchRecord
 
 from repro.analysis.branches import BranchSite, static_branch_table
+from repro.analysis.predictability import (
+    ANALYSIS_SCHEMES,
+    PROFILE_SCHEME,
+    PredictabilityClass,
+    PredictabilityReport,
+    analyze_program,
+)
 
 
 @dataclass
@@ -162,4 +174,117 @@ def cross_validate(
         btfn_total=btfn_total,
         unexecuted_static_sites=len(table) - observed_static,
         observed_per_class=per_class,
+    )
+
+
+# ----------------------------------------------------------------------
+# Predictability cross-validation: the static bounds against the simulator.
+# ----------------------------------------------------------------------
+
+#: Classes whose bounds the acceptance criteria require to be *exact*.
+_TIGHT_CLASSES = frozenset(
+    {PredictabilityClass.CONSTANT, PredictabilityClass.LOOP_PERIODIC}
+)
+
+
+@dataclass
+class PredictabilityValidation:
+    """Outcome of checking a predictability report against a dynamic trace.
+
+    Three layers of agreement, each hard-failing on divergence:
+
+    * every site × scheme: dynamic ``(correct, total)`` inside the static
+      ``[lower, upper]`` interval with matching occurrence counts;
+    * constant / loop-periodic sites: the interval must be a point
+      (``exact``) — the tightness the acceptance criteria demand;
+    * H2P: the static top-N by reference-scheme misprediction mass must
+      name the same sites as the dynamic top-N.
+    """
+
+    name: str
+    scale: int
+    sites_checked: int
+    schemes_checked: int
+    static_h2p: List[int] = field(default_factory=list)
+    dynamic_h2p: List[int] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.name,
+            "scale": self.scale,
+            "sites_checked": self.sites_checked,
+            "schemes_checked": self.schemes_checked,
+            "static_h2p": list(self.static_h2p),
+            "dynamic_h2p": list(self.dynamic_h2p),
+            "mismatches": list(self.mismatches),
+            "ok": self.ok,
+        }
+
+
+def validate_predictability(
+    program: Program,
+    records: Iterable[BranchRecord],
+    scale: int,
+    name: str = "<program>",
+    report: Optional[PredictabilityReport] = None,
+    h2p_n: int = 5,
+) -> PredictabilityValidation:
+    """Cross-validate static predictability bounds against a dynamic trace.
+
+    ``records`` is the trace the simulator produced for ``program`` at
+    ``scale`` conditional branches (the same scale the report was — or will
+    be — computed at).  ``report`` may be passed in when the caller already
+    ran :func:`~repro.analysis.predictability.analyze_program`.
+    """
+    trace = [r for r in records if r.cls is BranchClass.CONDITIONAL]
+    if report is None:
+        report = analyze_program(program, scale, name=name)
+
+    predictors = {scheme.name: scheme.factory() for scheme in ANALYSIS_SCHEMES}
+    predictors[PROFILE_SCHEME] = ProfilePredictor.from_trace(trace)
+    dynamic = per_site_accuracy_many(predictors, trace)
+
+    mismatches: List[str] = []
+    for scheme_name in sorted(dynamic):
+        bounds = {
+            pc: (bound.lower, bound.upper, bound.occurrences)
+            for pc, site_report in report.sites.items()
+            if (bound := site_report.bounds.get(scheme_name)) is not None
+        }
+        for violation in accuracy_within_bounds(dynamic[scheme_name], bounds):
+            mismatches.append(f"{scheme_name}: {violation}")
+
+    for pc, site_report in sorted(report.sites.items()):
+        if site_report.predictability not in _TIGHT_CLASSES:
+            continue
+        for scheme_name, bound in sorted(site_report.bounds.items()):
+            if not bound.exact:
+                mismatches.append(
+                    f"{scheme_name}: {pc:#010x} is "
+                    f"{site_report.predictability.value} but its bound "
+                    f"[{bound.lower}, {bound.upper}] is not exact"
+                )
+
+    static_h2p = report.h2p_top(h2p_n)
+    dynamic_h2p = top_mispredicted(dynamic[report.reference_scheme], h2p_n)
+    if set(static_h2p) != set(dynamic_h2p):
+        mismatches.append(
+            f"H2P top-{h2p_n} disagree: static "
+            f"{[hex(pc) for pc in static_h2p]}, dynamic "
+            f"{[hex(pc) for pc in dynamic_h2p]}"
+        )
+
+    return PredictabilityValidation(
+        name=name,
+        scale=scale,
+        sites_checked=len(report.sites),
+        schemes_checked=len(predictors),
+        static_h2p=static_h2p,
+        dynamic_h2p=dynamic_h2p,
+        mismatches=mismatches,
     )

@@ -20,6 +20,7 @@ from repro.isa.instructions import B_FORMAT, Opcode
 from repro.isa.program import Program
 from repro.isa.registers import register_name
 
+from repro.analysis.absint import LoopAnalysis, Resolution
 from repro.analysis.cfg import ControlFlowGraph, build_cfg
 from repro.analysis.dataflow import liveness, reaching_definitions
 
@@ -97,6 +98,30 @@ RULES: Dict[str, Rule] = {
             Severity.WARNING,
             "No halt instruction is reachable: the program cannot terminate "
             "on its own.",
+        ),
+        Rule(
+            "R009",
+            "constant-condition-branch",
+            Severity.WARNING,
+            "Conditional branch whose outcome is provably one-sided: the "
+            "value ranges of its operands decide the comparison on every "
+            "path.",
+        ),
+        Rule(
+            "R010",
+            "code-after-unconditional-jump",
+            Severity.WARNING,
+            "Block that starts right after an unconditional transfer and is "
+            "the target of no edge: dead code a fall-through can never "
+            "reach.",
+        ),
+        Rule(
+            "R011",
+            "degenerate-loop-trip-count",
+            Severity.WARNING,
+            "Loop whose statically-known trip count is 0 or 1: the "
+            "back-edge is never or once taken, so the loop structure is "
+            "vestigial.",
         ),
     )
 }
@@ -378,6 +403,77 @@ def _check_halt_reachable(
     )
 
 
+def _check_constant_conditions(
+    cfg: ControlFlowGraph, out: List[Diagnostic]
+) -> None:
+    resolution = Resolution(cfg=cfg, reaching=reaching_definitions(cfg))
+    reachable = cfg.reachable()
+    for start in sorted(reachable):
+        block = cfg.blocks[start]
+        terminator = block.terminator
+        if terminator.opcode not in B_FORMAT:
+            continue
+        pc = block.end - 4
+        decision = resolution.branch_decision(pc)
+        if decision is None:
+            continue
+        out.append(
+            _diag(
+                cfg,
+                "R009",
+                pc,
+                f"'{terminator.opcode.name.lower()}' is always "
+                f"{'taken' if decision else 'not taken'}: operand value "
+                "ranges decide the comparison on every path",
+            )
+        )
+
+
+def _check_code_after_jump(
+    cfg: ControlFlowGraph, out: List[Diagnostic]
+) -> None:
+    _UNCONDITIONAL = (Opcode.BR, Opcode.JMP, Opcode.RTS, Opcode.HALT)
+    program = cfg.program
+    for start in sorted(cfg.blocks):
+        if start == cfg.entry or cfg.predecessors(start):
+            continue
+        previous_index = (start - program.text_base) // 4 - 1
+        if previous_index < 0:
+            continue
+        previous = program.instructions[previous_index]
+        if previous.opcode not in _UNCONDITIONAL:
+            continue
+        block = cfg.blocks[start]
+        out.append(
+            _diag(
+                cfg,
+                "R010",
+                start,
+                f"block of {len(block.instructions)} instruction(s) after "
+                f"'{previous.opcode.name.lower()}' is the target of no edge",
+            )
+        )
+
+
+def _check_degenerate_loops(
+    cfg: ControlFlowGraph, out: List[Diagnostic]
+) -> None:
+    resolution = Resolution(cfg=cfg, reaching=reaching_definitions(cfg))
+    for summary in LoopAnalysis(resolution=resolution).summarize():
+        if summary.trip_count is None or summary.trip_count > 1:
+            continue
+        times = "never" if summary.trip_count == 0 else "exactly once"
+        out.append(
+            _diag(
+                cfg,
+                "R011",
+                summary.header,
+                f"loop back-edge is statically known to be taken {times} "
+                f"(trip count {summary.trip_count})",
+            )
+        )
+
+
 _CHECKS: List[Callable[[ControlFlowGraph, List[Diagnostic]], None]] = [
     _check_unreachable,
     _check_fallthrough_off_end,
@@ -387,6 +483,9 @@ _CHECKS: List[Callable[[ControlFlowGraph, List[Diagnostic]], None]] = [
     _check_infinite_loops,
     _check_dead_stores,
     _check_halt_reachable,
+    _check_constant_conditions,
+    _check_code_after_jump,
+    _check_degenerate_loops,
 ]
 
 

@@ -317,6 +317,101 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return worst
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_program, validate_predictability
+
+    reports = []
+    worst = 0
+    for display, kind, payload in _lint_targets(args):
+        if kind == "file":
+            program = assemble(payload)
+            workload = dataset = None
+        else:
+            workload, dataset = payload
+            program = assemble(workload.build_source(dataset))
+        report = analyze_program(program, args.scale, name=display)
+        validation = None
+        if args.cross_validate and workload is not None:
+            trace = workload.generate(dataset, args.scale)
+            validation = validate_predictability(
+                program,
+                trace.records,
+                args.scale,
+                name=display,
+                report=report,
+            )
+            if not validation.ok:
+                worst = max(worst, 1)
+
+        entry = report.as_dict()
+        if validation is not None:
+            entry["cross_validation"] = validation.as_dict()
+        reports.append(entry)
+
+        if not args.json:
+            counts = report.class_counts
+            walk = (
+                "complete walk"
+                if report.walk_complete
+                else f"partial walk ({report.walk_stop_reason})"
+            )
+            print(
+                f"{display}: {walk}, {report.known_conditionals} conditionals, "
+                f"{len(report.sites)} sites — "
+                + ", ".join(f"{n} {cls}" for cls, n in counts.items())
+            )
+            known_trips = [
+                s for s in report.loops if s.trip_count is not None
+            ]
+            if known_trips:
+                sample = ", ".join(
+                    f"{s.header:#x}:{s.trip_count}" for s in known_trips[:4]
+                )
+                print(
+                    f"  loops with known trip counts: {len(known_trips)}"
+                    f" ({sample}{', ...' if len(known_trips) > 4 else ''})"
+                )
+            h2p = report.h2p_ranking()[:5]
+            if h2p:
+                print(
+                    "  H2P top-5 ("
+                    + report.reference_scheme
+                    + " mass): "
+                    + ", ".join(f"{pc:#x}({mass})" for pc, mass in h2p)
+                )
+            if validation is not None:
+                verdict = "agrees" if validation.ok else "DISAGREES"
+                print(
+                    f"  cross-validation: {verdict} "
+                    f"({validation.sites_checked} sites x "
+                    f"{validation.schemes_checked} schemes)"
+                )
+                for mismatch in validation.mismatches[:20]:
+                    print(f"    {mismatch}")
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "programs": reports,
+                    "summary": {
+                        "programs": len(reports),
+                        "cross_validated": sum(
+                            1 for r in reports if "cross_validation" in r
+                        ),
+                        "exit": worst,
+                    },
+                },
+                indent=2,
+            )
+        )
+    elif len(reports) > 1:
+        sites = sum(len(r["sites"]) for r in reports)
+        print(f"{len(reports)} program(s), {sites} conditional site(s) analyzed")
+    return worst
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -568,7 +663,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  {example}")
     print(
         "\nStatic analysis: repro lint [workload|file.s ...]"
-        " (rules R001..R008; see docs/analysis.md)"
+        " (rules R001..R011; see docs/analysis.md)"
+    )
+    print(
+        "Predictability: repro analyze [workload|file.s ...] (classes,"
+        " per-scheme bounds, H2P ranking; --cross-validate checks them"
+        " against the simulator)"
     )
     print(
         "Serving: repro serve (online prediction sessions over TCP) and"
@@ -694,6 +794,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="conditional branches to simulate per program for --cross-validate",
     )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="static branch-predictability analysis (classes, bounds, H2P)",
+    )
+    analyze_parser.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="workload names and/or assembly file paths (default: all workloads)",
+    )
+    analyze_parser.add_argument(
+        "--dataset", default="both", choices=("both", "test", "train"),
+        help="which data set(s) of each workload to analyze",
+    )
+    analyze_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the JSON report (schema in docs/analysis.md)",
+    )
+    analyze_parser.add_argument(
+        "--cross-validate", action="store_true",
+        help="also simulate each workload and check every per-site per-scheme"
+             " bound and the H2P ranking against the trace",
+    )
+    analyze_parser.add_argument(
+        "--scale", type=int, default=20_000,
+        help="conditional branches the analysis (and --cross-validate trace)"
+             " covers per program",
+    )
+    analyze_parser.set_defaults(func=_cmd_analyze)
 
     serve_parser = sub.add_parser(
         "serve", help="run the online prediction service (docs/serving.md)"

@@ -17,7 +17,7 @@ unconditional; ``jmp``/``jsr`` are unconditional on a register.
 from __future__ import annotations
 
 import enum
-from typing import NamedTuple, Tuple
+from typing import Callable, Dict, NamedTuple, Tuple
 
 from repro.trace.record import BranchClass
 
@@ -218,3 +218,85 @@ def registers_written(instruction: Instruction) -> Tuple[int, ...]:
     if opcode in _NO_WRITE:
         return ()
     return (instruction.rd,) if instruction.rd else ()
+
+
+# ----------------------------------------------------------------------
+# Value semantics metadata.
+#
+# Pure functions over 32-bit unsigned register values, one per ALU opcode
+# and one predicate per conditional branch, mirroring cpu.CPU.run exactly
+# (same masking, same signedness, same truncation-toward-zero division).
+# The abstract interpreter in repro.analysis.absint and the closed-form
+# replay machinery in repro.analysis.predictability evaluate instructions
+# through these tables so the interpreter's semantics are stated once.
+# ----------------------------------------------------------------------
+_WORD = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+def signed_value(value: int) -> int:
+    """Interpret a 32-bit unsigned register value as signed two's-complement."""
+    return value - 0x100000000 if value & _SIGN else value
+
+
+def _divs(a: int, b: int) -> int:
+    # Truncation toward zero; raises ZeroDivisionError exactly where the
+    # CPU raises ExecutionError, so callers can treat both as "no value".
+    sb = signed_value(b)
+    if sb == 0:
+        raise ZeroDivisionError("divs by zero")
+    return int(signed_value(a) / sb) & _WORD
+
+
+def _rems(a: int, b: int) -> int:
+    sb = signed_value(b)
+    if sb == 0:
+        raise ZeroDivisionError("rems by zero")
+    sa = signed_value(a)
+    return (sa - int(sa / sb) * sb) & _WORD
+
+
+#: R-format ALU semantics: ``f(rs1_value, rs2_value) -> rd_value``.
+ALU_SEMANTICS: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: (a + b) & _WORD,
+    Opcode.SUB: lambda a, b: (a - b) & _WORD,
+    Opcode.MUL: lambda a, b: (signed_value(a) * signed_value(b)) & _WORD,
+    Opcode.DIVS: _divs,
+    Opcode.REMS: _rems,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: (a << (b & 31)) & _WORD,
+    Opcode.SHR: lambda a, b: a >> (b & 31),
+    Opcode.SRA: lambda a, b: (signed_value(a) >> (b & 31)) & _WORD,
+}
+
+#: I-format ALU semantics: ``f(rs1_value, imm) -> rd_value`` (``imm`` is the
+#: decoded signed immediate; masking matches the CPU per opcode).
+IMM_SEMANTICS: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADDI: lambda a, imm: (a + imm) & _WORD,
+    Opcode.MULI: lambda a, imm: (signed_value(a) * imm) & _WORD,
+    Opcode.ANDI: lambda a, imm: a & (imm & 0xFFFF),
+    Opcode.ORI: lambda a, imm: a | (imm & 0xFFFF),
+    Opcode.XORI: lambda a, imm: a ^ (imm & 0xFFFF),
+    Opcode.SHLI: lambda a, imm: (a << (imm & 31)) & _WORD,
+    Opcode.SHRI: lambda a, imm: a >> (imm & 31),
+    Opcode.SRAI: lambda a, imm: (signed_value(a) >> (imm & 31)) & _WORD,
+    Opcode.LUI: lambda a, imm: (imm & 0xFFFF) << 16,
+}
+
+#: Conditional-branch predicates: ``f(rs1_value, rs2_value) -> taken``.
+BRANCH_SEMANTICS: Dict[Opcode, Callable[[int, int], bool]] = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: signed_value(a) < signed_value(b),
+    Opcode.BGE: lambda a, b: signed_value(a) >= signed_value(b),
+    Opcode.BLE: lambda a, b: signed_value(a) <= signed_value(b),
+    Opcode.BGT: lambda a, b: signed_value(a) > signed_value(b),
+}
+
+
+def encoded_target(pc: int, instruction: Instruction) -> int:
+    """Taken-direction target of a B-format / ``br`` / ``bsr`` instruction
+    at byte address ``pc`` (word offset relative to the next pc)."""
+    return pc + 4 + 4 * instruction.imm

@@ -146,6 +146,94 @@ def per_site_accuracy(
     return {pc: (correct.get(pc, 0), total[pc]) for pc in total}
 
 
+def per_site_accuracy_many(
+    predictors: "Dict[str, ConditionalBranchPredictor]",
+    records: Iterable[BranchRecord],
+) -> Dict[str, Dict[int, "tuple[int, int]"]]:
+    """Per-site ``(correct, total)`` for several predictors in one pass.
+
+    Equivalent to calling :func:`per_site_accuracy` once per predictor but
+    reading the trace a single time — the static analyzer's cross-validation
+    drives the whole scheme registry over each workload trace, and traces
+    dominate the cost.
+    """
+    names = list(predictors)
+    correct: Dict[str, Dict[int, int]] = {name: {} for name in names}
+    total: Dict[int, int] = {}
+    for record in records:
+        if record.cls is not BranchClass.CONDITIONAL:
+            continue
+        total[record.pc] = total.get(record.pc, 0) + 1
+        for name in names:
+            predictor = predictors[name]
+            prediction = predictor.predict(record.pc, record.target)
+            predictor.update(record.pc, record.target, record.taken)
+            if prediction == record.taken:
+                scheme_correct = correct[name]
+                scheme_correct[record.pc] = scheme_correct.get(record.pc, 0) + 1
+    return {
+        name: {pc: (correct[name].get(pc, 0), n) for pc, n in total.items()}
+        for name in names
+    }
+
+
+def misprediction_mass(
+    per_site: "Dict[int, tuple[int, int]]",
+) -> Dict[int, int]:
+    """Per-site misprediction counts from a :func:`per_site_accuracy` map."""
+    return {pc: n - correct for pc, (correct, n) in per_site.items()}
+
+
+def top_mispredicted(
+    per_site: "Dict[int, tuple[int, int]]", n: int = 5
+) -> List[int]:
+    """The ``n`` sites carrying the most mispredictions, heaviest first
+    (pc breaks ties) — the dynamic side of the static H2P ranking.
+    Sites with zero mispredictions never rank."""
+    ranked = [
+        (mass, pc)
+        for pc, mass in misprediction_mass(per_site).items()
+        if mass > 0
+    ]
+    ranked.sort(key=lambda item: (-item[0], item[1]))
+    return [pc for _, pc in ranked[:n]]
+
+
+def accuracy_within_bounds(
+    per_site: "Dict[int, tuple[int, int]]",
+    bounds: "Dict[int, tuple[int, int, int]]",
+) -> List[str]:
+    """Check dynamic per-site results against static intervals.
+
+    ``bounds`` maps pc -> ``(lower, upper, occurrences)``: the statically
+    proven correct-prediction interval and the expected execution count.
+    Returns human-readable violation strings (empty = all within bounds).
+    Sites absent from either map are reported — a bound for a site that
+    never runs, or a dynamic site the analysis missed, is itself a bug.
+    """
+    violations: List[str] = []
+    for pc in sorted(set(per_site) | set(bounds)):
+        if pc not in bounds:
+            violations.append(f"{pc:#010x}: dynamic site has no static bound")
+            continue
+        if pc not in per_site:
+            violations.append(f"{pc:#010x}: bounded site never executed")
+            continue
+        correct, total = per_site[pc]
+        lower, upper, occurrences = bounds[pc]
+        if total != occurrences:
+            violations.append(
+                f"{pc:#010x}: occurrence mismatch "
+                f"(static {occurrences}, dynamic {total})"
+            )
+        if not lower <= correct <= upper:
+            violations.append(
+                f"{pc:#010x}: correct={correct} outside static bound "
+                f"[{lower}, {upper}]"
+            )
+    return violations
+
+
 def convergence_point(
     accuracies: Sequence[float], tolerance: float = 0.01
 ) -> Optional[int]:

@@ -29,7 +29,16 @@ class Li(Workload):
 
     name = "li"
     category = INTEGER
-    version = 3
+    # v4: the driver reads hanoi_weight from the data segment instead of an
+    # immediate (R009 flagged the baked-in weight as a provably one-sided
+    # guard when it is 0).  One `li` became one `ld`, so every text address
+    # is unchanged; the loaded word is written by nothing (queens stores at
+    # board+4*row, row >= 0, and both kernels' other stores are sp-relative),
+    # so r12 holds the same weight at the compare on every iteration and
+    # every branch outcome is preserved exactly.  This is also the faithful
+    # modeling: one interpreter text shared by both data sets, with the
+    # interpreted-program mix coming from data.
+    version = 4
     datasets = {
         # hanoi_weight of 8 driver slots run the hanoi kernel; the rest run
         # queens.  Table 3: train = towers of hanoi, test = eight queens.
@@ -68,7 +77,7 @@ driver:
 {drv_check}
     addi r14, r14, 1
     andi r13, r14, 7
-    li   r12, {hanoi_weight}
+    ld   r12, -4(r21)       ; hanoi_weight, from the data set
     blt  r13, r12, run_hanoi
     li   r2, {queens_start} ; queens: starting row
     bsr  place
@@ -188,6 +197,7 @@ found:
 {drv_stop}
 
 .data
+hanoi_weight: .word {hanoi_weight}
 board: .space 8
 """
         return join_sections(text)

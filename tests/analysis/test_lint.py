@@ -21,15 +21,15 @@ def _rules_fired(source: str):
 
 
 class TestRuleCatalogue:
-    def test_eight_rules_with_stable_ids(self):
-        assert sorted(RULES) == [f"R00{n}" for n in range(1, 9)]
+    def test_eleven_rules_with_stable_ids(self):
+        assert sorted(RULES) == [f"R{n:03d}" for n in range(1, 12)]
 
     def test_severities(self):
         severities = {rule_id: rule.severity for rule_id, rule in RULES.items()}
         assert severities["R002"] is Severity.ERROR
         assert severities["R004"] is Severity.ERROR
         assert severities["R006"] is Severity.ERROR
-        for rule_id in ("R001", "R003", "R005", "R007", "R008"):
+        for rule_id in ("R001", "R003", "R005", "R007", "R008", "R009", "R010", "R011"):
             assert severities[rule_id] is Severity.WARNING
 
 
@@ -142,6 +142,99 @@ loop:
 """
         )
         assert "R008" in fired
+
+
+class TestNewRuleTriggers:
+    """R009–R011 ride on the abstract-interpretation pass (absint)."""
+
+    def test_r009_constant_condition_branch(self):
+        fired = _rules_fired(
+            """
+_start:
+    li r2, 3
+    li r3, 5
+    blt r2, r3, yes
+    addi r4, r0, 1
+yes:
+    halt
+"""
+        )
+        assert "R009" in fired
+
+    def test_r009_quiet_on_data_dependent_branch(self):
+        fired = _rules_fired(
+            """
+_start:
+    li r2, buf
+    ld r3, 0(r2)
+    bnez r3, yes
+    addi r4, r0, 1
+yes:
+    halt
+
+.data
+buf: .word 7
+"""
+        )
+        assert "R009" not in fired
+
+    def test_r010_code_after_unconditional_jump(self):
+        fired = _rules_fired(
+            """
+_start:
+    br out
+    addi r2, r0, 1
+out:
+    halt
+"""
+        )
+        assert "R010" in fired
+
+    def test_r010_quiet_when_block_is_branch_target(self):
+        fired = _rules_fired(
+            """
+_start:
+    bnez r2, skip
+    br out
+skip:
+    addi r2, r0, 1
+out:
+    halt
+"""
+        )
+        assert "R010" not in fired
+
+    def test_r011_loop_with_trip_count_zero(self):
+        fired = _rules_fired(
+            """
+_start:
+    li r2, 1
+once:
+    addi r3, r3, 1
+    subi r2, r2, 1
+    bnez r2, once
+    halt
+"""
+        )
+        assert "R011" in fired
+
+    def test_r011_loop_with_trip_count_one(self):
+        fired = _rules_fired(
+            """
+_start:
+    li r2, 2
+once:
+    addi r3, r3, 1
+    subi r2, r2, 1
+    bnez r2, once
+    halt
+"""
+        )
+        assert "R011" in fired
+
+    def test_r011_quiet_on_real_loop(self):
+        fired = _rules_fired(CLEAN)
+        assert "R011" not in fired
 
 
 class TestDiagnostics:

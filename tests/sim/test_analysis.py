@@ -8,8 +8,13 @@ from repro.predictors.hrt import IHRT
 from repro.predictors.pattern_table import PatternTable
 from repro.predictors.two_level import TwoLevelAdaptivePredictor
 from repro.sim.analysis import (
+    accuracy_within_bounds,
     convergence_point,
+    misprediction_mass,
     pattern_conflicts,
+    per_site_accuracy,
+    per_site_accuracy_many,
+    top_mispredicted,
     windowed_accuracy,
 )
 from repro.trace.synthetic import interleaved, periodic_branch
@@ -81,3 +86,59 @@ class TestConvergencePoint:
 
     def test_empty(self):
         assert convergence_point([]) is None
+
+
+class TestPerSiteHelpers:
+    """The multi-predictor pass and the H2P/bounds utilities added for the
+    static cross-validation layer."""
+
+    def _trace(self):
+        return list(
+            interleaved([(0x10, [True, False]), (0x20, [True, True, False])], 300)
+        )
+
+    def _predictor(self):
+        return TwoLevelAdaptivePredictor(IHRT(), PatternTable(8, A2))
+
+    def test_many_matches_single_pass_per_predictor(self):
+        trace = self._trace()
+        combined = per_site_accuracy_many(
+            {"a": self._predictor(), "b": self._predictor()}, trace
+        )
+        single = per_site_accuracy(self._predictor(), trace)
+        assert combined["a"] == single
+        assert combined["b"] == single
+
+    def test_misprediction_mass(self):
+        assert misprediction_mass({0x10: (90, 100), 0x20: (100, 100)}) == {
+            0x10: 10,
+            0x20: 0,
+        }
+
+    def test_top_mispredicted_orders_by_mass_then_pc(self):
+        per_site = {
+            0x30: (90, 100),   # 10 misses
+            0x10: (50, 100),   # 50 misses
+            0x20: (50, 100),   # 50 misses, higher pc than 0x10
+            0x40: (100, 100),  # perfect: must never rank
+        }
+        assert top_mispredicted(per_site, n=5) == [0x10, 0x20, 0x30]
+        assert top_mispredicted(per_site, n=1) == [0x10]
+
+    def test_bounds_accept_exact_and_interval(self):
+        per_site = {0x10: (90, 100)}
+        assert accuracy_within_bounds(per_site, {0x10: (90, 90, 100)}) == []
+        assert accuracy_within_bounds(per_site, {0x10: (80, 95, 100)}) == []
+
+    def test_bounds_report_violations(self):
+        per_site = {0x10: (90, 100)}
+        out_of_interval = accuracy_within_bounds(per_site, {0x10: (95, 100, 100)})
+        assert len(out_of_interval) == 1 and "0x" in out_of_interval[0]
+        missing = accuracy_within_bounds(per_site, {})
+        assert len(missing) == 1
+        count_mismatch = accuracy_within_bounds(per_site, {0x10: (90, 90, 99)})
+        assert len(count_mismatch) == 1
+
+    def test_bounds_flag_sites_that_never_ran(self):
+        violations = accuracy_within_bounds({}, {0x10: (1, 2, 3)})
+        assert len(violations) == 1
