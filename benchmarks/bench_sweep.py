@@ -1,0 +1,164 @@
+"""Fused sweep engine vs the per-cell path, wall clock.
+
+The fused engine (:mod:`repro.sim.sweep`) scores a whole fig7-style spec
+ladder in one pass over each benchmark's trace, sharing the per-pc
+grouping, history windows and compose tables that the per-cell path
+rebuilds for every (spec x benchmark) cell.  This bench times three ways
+of producing the *identical* :class:`~repro.sim.results.SweepResult`:
+
+* **per-cell** — :meth:`SweepRunner.run_one` over every grid cell (the
+  reference path the fused kernels are validated against);
+* **fused, jobs=1** — the serial :meth:`SweepRunner.run`, one fused trace
+  pass per benchmark;
+* **fused, jobs=2** — the process-pool partitioning of
+  :mod:`repro.sim.parallel`, one (benchmark x spec-group) task per worker.
+
+All runners disable the sweep-result cache so the timings measure scoring,
+not cache hits.  Scale follows ``REPRO_BENCH_SCALE`` (``paper`` selects
+the paper's 20M conditional branches; repeats drop to 1 there), and
+``REPRO_BENCH_RECORD=1`` appends a dated entry to ``BENCH_sweep.json`` at
+the repo root, mirroring ``BENCH_serve.json``'s ``{"entries": [...]}``
+shape — one entry per (scale, jobs, grid) config, re-runs update in place.
+
+Skips without NumPy: the per-cell and fused paths both fall back to the
+scalar engine then, so there is no fusion speedup to measure.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.predictors.spec import parse_spec
+from repro.sim.backend import has_numpy
+from repro.sim.runner import SweepRunner
+
+DEFAULT_SCALE = 50_000
+
+#: the fig7 AT history-length ladder — the grid shape every figure sweep
+#: shares (same HRT geometry, varying history length / PT size)
+SPECS = [
+    "AT(AHRT(512,12SR),PT(2^12,A2),)",
+    "AT(AHRT(512,10SR),PT(2^10,A2),)",
+    "AT(AHRT(512,8SR),PT(2^8,A2),)",
+    "AT(AHRT(512,6SR),PT(2^6,A2),)",
+]
+
+BENCHMARKS = ["eqntott", "gcc"]
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def _bench_scale() -> int:
+    from repro.workloads.base import parse_scale
+
+    return parse_scale(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def _best_of(run, repeats):
+    timings = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        timings.append(time.perf_counter() - start)
+    return min(timings), result
+
+
+def _snapshot(sweep):
+    """Order-stable (scheme, benchmark, accuracy) rows for equality checks."""
+    return [
+        (scheme, benchmark, accuracy)
+        for scheme in sweep.schemes()
+        for benchmark, accuracy in sorted(sweep.accuracies(scheme).items())
+    ]
+
+
+def _append_entry(entry: dict) -> None:
+    """Append one dated entry, replacing any prior entry with the same config."""
+    try:
+        existing = json.loads(_RESULT_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    entries = [
+        row
+        for row in existing.get("entries", [])
+        if row.get("config") != entry["config"]
+    ]
+    entries.append(entry)
+    _RESULT_PATH.write_text(json.dumps({"entries": entries}, indent=1) + "\n")
+    print(f"  recorded -> {_RESULT_PATH}")
+
+
+def test_fused_sweep_speedup(bench_cache):
+    if not has_numpy():
+        pytest.skip("NumPy not installed; fused kernels unavailable")
+    scale = _bench_scale()
+    repeats = 5 if scale <= 200_000 else 1
+    parsed = [parse_spec(text) for text in SPECS]
+
+    def runner():
+        return SweepRunner(
+            BENCHMARKS, scale, bench_cache, backend="auto", result_cache=None
+        )
+
+    # warm the trace cache so every leg measures scoring, not trace generation
+    for benchmark in BENCHMARKS:
+        runner().testing_trace(benchmark)
+
+    def per_cell():
+        r = runner()
+        cells = {
+            (index, benchmark): r.run_one(spec, benchmark).stats
+            for index, spec in enumerate(parsed)
+            for benchmark in BENCHMARKS
+        }
+        return r.assemble(parsed, cells)
+
+    cell_s, baseline = _best_of(per_cell, repeats)
+    fused_s, fused = _best_of(lambda: runner().run(parsed), repeats)
+    jobs2_s, jobs2 = _best_of(lambda: runner().run(parsed, jobs=2), repeats)
+
+    assert _snapshot(fused) == _snapshot(baseline), "fused sweep diverged"
+    assert _snapshot(jobs2) == _snapshot(baseline), "parallel sweep diverged"
+
+    speedup = cell_s / fused_s
+    print(
+        f"\nfig7 ladder ({len(SPECS)} specs x {len(BENCHMARKS)} benchmarks,"
+        f" scale={scale}, best of {repeats}):"
+        f"\n  per-cell        {cell_s * 1e3:10.1f} ms"
+        f"\n  fused jobs=1    {fused_s * 1e3:10.1f} ms   {speedup:6.2f}x"
+        f"\n  fused jobs=2    {jobs2_s * 1e3:10.1f} ms"
+        f"   {cell_s / jobs2_s:6.2f}x"
+    )
+
+    if os.environ.get("REPRO_BENCH_RECORD") == "1":
+        _append_entry(
+            {
+                "config": {
+                    "backend": "auto",
+                    "benchmarks": BENCHMARKS,
+                    "scale": scale,
+                    "specs": [spec.canonical() for spec in parsed],
+                },
+                "date": datetime.date.today().isoformat(),
+                "timings": {
+                    "best_of": repeats,
+                    "per_cell_ms": round(cell_s * 1e3, 1),
+                    "fused_jobs1_ms": round(fused_s * 1e3, 1),
+                    "fused_jobs2_ms": round(jobs2_s * 1e3, 1),
+                    "speedup_jobs1": round(speedup, 2),
+                    "speedup_jobs2": round(cell_s / jobs2_s, 2),
+                },
+            }
+        )
+
+    # the >=3x acceptance bar holds at the recorded 50k scale; CI smoke
+    # scales only need fusion to not lose
+    floor = 3.0 if scale >= DEFAULT_SCALE else 1.0
+    assert speedup > floor, f"fused sweep speedup {speedup:.2f}x under {floor}x"

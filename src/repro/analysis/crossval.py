@@ -26,6 +26,7 @@ from repro.predictors.static_schemes import BTFNPredictor, ProfilePredictor
 from repro.sim.analysis import (
     accuracy_within_bounds,
     per_site_accuracy_many,
+    per_site_accuracy_specs,
     top_mispredicted,
 )
 from repro.sim.engine import simulate
@@ -245,9 +246,31 @@ def validate_predictability(
     if report is None:
         report = analyze_program(program, scale, name=name)
 
-    predictors = {scheme.name: scheme.factory() for scheme in ANALYSIS_SCHEMES}
-    predictors[PROFILE_SCHEME] = ProfilePredictor.from_trace(trace)
-    dynamic = per_site_accuracy_many(predictors, trace)
+    # Registry-spec schemes ride the fused sweep kernel (one pass, shared
+    # intermediates); extension predictors without a spec (PAp) replay.
+    # Profile profiles the execution trace itself, which is exactly the
+    # fused kernel's Profile recipe, so it fuses too.
+    spec_map = {
+        scheme.name: scheme.spec
+        for scheme in ANALYSIS_SCHEMES
+        if scheme.spec is not None
+    }
+    spec_map[PROFILE_SCHEME] = "Profile"
+    fused = per_site_accuracy_specs(spec_map, trace)
+    if fused is None:
+        predictors = {
+            scheme.name: scheme.factory() for scheme in ANALYSIS_SCHEMES
+        }
+        predictors[PROFILE_SCHEME] = ProfilePredictor.from_trace(trace)
+        dynamic = per_site_accuracy_many(predictors, trace)
+    else:
+        replayed = {
+            scheme.name: scheme.factory()
+            for scheme in ANALYSIS_SCHEMES
+            if scheme.spec is None
+        }
+        dynamic = {**fused, **per_site_accuracy_many(replayed, trace)}
+    scheme_count = len(dynamic)
 
     mismatches: List[str] = []
     for scheme_name in sorted(dynamic):
@@ -283,7 +306,7 @@ def validate_predictability(
         name=name,
         scale=scale,
         sites_checked=len(report.sites),
-        schemes_checked=len(predictors),
+        schemes_checked=scheme_count,
         static_h2p=static_h2p,
         dynamic_h2p=dynamic_h2p,
         mismatches=mismatches,

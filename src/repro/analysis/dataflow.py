@@ -44,6 +44,46 @@ def _analysis_order(cfg: ControlFlowGraph) -> List[int]:
     return order
 
 
+#: bit positions set in each byte value — the decode table for bitset
+#: solutions (see :func:`reaching_definitions`)
+_BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(j for j in range(8) if value >> j & 1) for value in range(256)
+)
+
+
+def _decode_bits(
+    bits: int, definitions: List[Definition]
+) -> FrozenSet[Definition]:
+    """Decode one bitset solution into the frozenset interface."""
+    raw = bits.to_bytes((bits.bit_length() + 7) // 8, "little")
+    return frozenset(
+        definitions[index * 8 + offset]
+        for index, byte in enumerate(raw)
+        if byte
+        for offset in _BYTE_BITS[byte]
+    )
+
+
+class _LazyDecodedSets(Dict[int, FrozenSet[Definition]]):
+    """block start -> decoded definition set, decoding on first access.
+
+    The fixpoint solves on integer bitsets; most callers only ever look at
+    a few blocks' sets (``at`` walks one block per query), so decoding all
+    of them eagerly would dominate the solve.  Iteration and ``len`` see
+    every block: the map pre-fills keys lazily via ``__missing__`` only.
+    """
+
+    def __init__(self, bits: Dict[int, int], definitions: List[Definition]):
+        super().__init__()
+        self._bits = bits
+        self._definitions = definitions
+
+    def __missing__(self, start: int) -> FrozenSet[Definition]:
+        value = _decode_bits(self._bits[start], self._definitions)
+        self[start] = value
+        return value
+
+
 @dataclass
 class ReachingDefinitions:
     """Fixpoint solution: definitions reaching each block boundary."""
@@ -55,13 +95,16 @@ class ReachingDefinitions:
     def at(self, address: int) -> FrozenSet[Definition]:
         """Definitions reaching ``address`` (before it executes)."""
         block = self.cfg.block_at(address)
-        live: Set[Definition] = set(self.block_in[block.start])
+        last_def: Dict[int, int] = {}
         for pc, instruction in zip(block.addresses(), block.instructions):
             if pc == address:
+                live = {
+                    d for d in self.block_in[block.start] if d[0] not in last_def
+                }
+                live.update(last_def.items())
                 return frozenset(live)
             for register in registers_written(instruction):
-                live = {d for d in live if d[0] != register}
-                live.add((register, pc))
+                last_def[register] = pc
         raise KeyError(f"address {address:#x} is not in block {block.start:#x}")
 
     def definitely_uninitialized_reads(self) -> List[Tuple[int, int]]:
@@ -74,63 +117,98 @@ class ReachingDefinitions:
         findings: List[Tuple[int, int]] = []
         for start in sorted(self.cfg.blocks):
             block = self.cfg.blocks[start]
-            live: Set[Definition] = set(self.block_in[start])
+            entry_only: Dict[int, bool] = {}
+            for register, address in self.block_in[start]:
+                entry_only[register] = (
+                    entry_only.get(register, True) and address == UNINITIALIZED
+                )
+            written: Set[int] = set()
             for pc, instruction in zip(block.addresses(), block.instructions):
                 for register in registers_read(instruction):
-                    if register == 0:
+                    if register == 0 or register in written:
                         continue
-                    reaching = [d for d in live if d[0] == register]
-                    if reaching and all(
-                        d[1] == UNINITIALIZED for d in reaching
-                    ):
+                    if entry_only.get(register, False):
                         findings.append((pc, register))
-                for register in registers_written(instruction):
-                    live = {d for d in live if d[0] != register}
-                    live.add((register, pc))
+                written.update(registers_written(instruction))
         return findings
 
 
 def reaching_definitions(cfg: ControlFlowGraph) -> ReachingDefinitions:
-    """Solve forward may reaching-definitions over ``cfg``."""
-    gen: Dict[int, FrozenSet[Definition]] = {}
+    """Solve forward may reaching-definitions over ``cfg``.
+
+    The fixpoint runs on bitsets: only a block's *last* definition of each
+    register can escape it, so the definition universe is the per-block gen
+    pairs plus the virtual entry definitions — small enough to give every
+    definition a bit and solve with integer ``|``/``&`` instead of
+    per-element frozenset rebuilds.  The solution decodes back to the
+    frozenset interface once, after convergence.
+    """
+    definitions: List[Definition] = []
+    index_of: Dict[Definition, int] = {}
+    register_bits: Dict[int, int] = {}
+
+    def intern(definition: Definition) -> int:
+        bit = index_of.get(definition)
+        if bit is None:
+            bit = len(definitions)
+            index_of[definition] = bit
+            definitions.append(definition)
+            register = definition[0]
+            register_bits[register] = register_bits.get(register, 0) | (1 << bit)
+        return bit
+
+    gen_bits: Dict[int, int] = {}
     kill_regs: Dict[int, FrozenSet[int]] = {}
     for start, block in cfg.blocks.items():
         last_def: Dict[int, int] = {}
         for pc, instruction in zip(block.addresses(), block.instructions):
             for register in registers_written(instruction):
                 last_def[register] = pc
-        gen[start] = frozenset(last_def.items())
+        bits = 0
+        for item in last_def.items():
+            bits |= 1 << intern(item)
+        gen_bits[start] = bits
         kill_regs[start] = frozenset(last_def)
 
-    entry_defs = frozenset(
-        (register, UNINITIALIZED) for register in range(1, NUM_REGISTERS)
-    )
-    block_in: Dict[int, FrozenSet[Definition]] = {
-        start: frozenset() for start in cfg.blocks
+    entry_bits = 0
+    for register in range(1, NUM_REGISTERS):
+        entry_bits |= 1 << intern((register, UNINITIALIZED))
+
+    # kill masks cover every definition of the killed registers, so they can
+    # only be assembled once the whole universe is interned
+    keep_mask: Dict[int, int] = {}
+    universe = (1 << len(definitions)) - 1
+    for start in cfg.blocks:
+        killed = 0
+        for register in kill_regs[start]:
+            killed |= register_bits.get(register, 0)
+        keep_mask[start] = universe & ~killed
+
+    predecessors: Dict[int, List[int]] = {
+        start: [edge.src for edge in cfg.predecessors(start)]
+        for start in cfg.blocks
     }
-    block_out: Dict[int, FrozenSet[Definition]] = {
-        start: frozenset() for start in cfg.blocks
-    }
+    in_bits: Dict[int, int] = {start: 0 for start in cfg.blocks}
+    out_bits: Dict[int, int] = {start: 0 for start in cfg.blocks}
     order = _analysis_order(cfg)
     changed = True
     while changed:
         changed = False
         for start in order:
-            merged: Set[Definition] = set()
-            if start == cfg.entry:
-                merged.update(entry_defs)
-            for edge in cfg.predecessors(start):
-                merged.update(block_out[edge.src])
-            new_in = frozenset(merged)
-            killed = kill_regs[start]
-            new_out = frozenset(
-                d for d in new_in if d[0] not in killed
-            ) | gen[start]
-            if new_in != block_in[start] or new_out != block_out[start]:
-                block_in[start] = new_in
-                block_out[start] = new_out
+            merged = entry_bits if start == cfg.entry else 0
+            for src in predecessors[start]:
+                merged |= out_bits[src]
+            new_out = (merged & keep_mask[start]) | gen_bits[start]
+            if merged != in_bits[start] or new_out != out_bits[start]:
+                in_bits[start] = merged
+                out_bits[start] = new_out
                 changed = True
-    return ReachingDefinitions(cfg=cfg, block_in=block_in, block_out=block_out)
+
+    return ReachingDefinitions(
+        cfg=cfg,
+        block_in=_LazyDecodedSets(in_bits, definitions),
+        block_out=_LazyDecodedSets(out_bits, definitions),
+    )
 
 
 @dataclass

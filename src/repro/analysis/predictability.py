@@ -87,11 +87,18 @@ class AnalysisScheme(NamedTuple):
     exact even without the global interleaving.  Shared-state schemes (the
     global pattern table, global history registers) need the complete
     global stream for tight bounds.
+
+    ``spec`` is the registry spec string when the scheme has one — those
+    schemes ride the fused sweep kernel
+    (:func:`repro.sim.analysis.per_site_accuracy_specs`) during
+    cross-validation; ``None`` (extension predictors like PAp) stays on the
+    per-record replay loop.
     """
 
     name: str
     factory: Callable[[], ConditionalBranchPredictor]
     self_contained: bool
+    spec: Optional[str] = None
 
 
 def _spec_factory(spec: str) -> Callable[[], ConditionalBranchPredictor]:
@@ -100,19 +107,26 @@ def _spec_factory(spec: str) -> Callable[[], ConditionalBranchPredictor]:
 
 
 ANALYSIS_SCHEMES: Tuple[AnalysisScheme, ...] = (
-    AnalysisScheme("AlwaysTaken", _spec_factory("AlwaysTaken"), True),
-    AnalysisScheme("AlwaysNotTaken", _spec_factory("AlwaysNotTaken"), True),
-    AnalysisScheme("BTFN", _spec_factory("BTFN"), True),
-    AnalysisScheme("LS(IHRT(,LT),,)", _spec_factory("LS(IHRT(,LT),,)"), True),
-    AnalysisScheme("LS(IHRT(,A2),,)", _spec_factory("LS(IHRT(,A2),,)"), True),
+    AnalysisScheme("AlwaysTaken", _spec_factory("AlwaysTaken"), True, "AlwaysTaken"),
+    AnalysisScheme(
+        "AlwaysNotTaken", _spec_factory("AlwaysNotTaken"), True, "AlwaysNotTaken"
+    ),
+    AnalysisScheme("BTFN", _spec_factory("BTFN"), True, "BTFN"),
+    AnalysisScheme(
+        "LS(IHRT(,LT),,)", _spec_factory("LS(IHRT(,LT),,)"), True, "LS(IHRT(,LT),,)"
+    ),
+    AnalysisScheme(
+        "LS(IHRT(,A2),,)", _spec_factory("LS(IHRT(,A2),,)"), True, "LS(IHRT(,A2),,)"
+    ),
     AnalysisScheme("PAp(8,A2)", lambda: PApPredictor(8), True),
     AnalysisScheme(
         "AT(IHRT(,12SR),PT(2^12,A2),)",
         _spec_factory("AT(IHRT(,12SR),PT(2^12,A2),)"),
         False,
+        "AT(IHRT(,12SR),PT(2^12,A2),)",
     ),
-    AnalysisScheme("GAg(8,A2)", _spec_factory("GAg(8)"), False),
-    AnalysisScheme("gshare(8,A2)", _spec_factory("gshare(8)"), False),
+    AnalysisScheme("GAg(8,A2)", _spec_factory("GAg(8)"), False, "GAg(8)"),
+    AnalysisScheme("gshare(8,A2)", _spec_factory("gshare(8)"), False, "gshare(8)"),
 )
 
 #: Scheme whose misprediction mass ranks the static H2P candidates; chosen
@@ -498,13 +512,38 @@ def _records_from_stream(
     ]
 
 
+def _per_site_all_schemes(
+    schemes: Sequence[AnalysisScheme],
+    records: Sequence[BranchRecord],
+) -> Dict[str, Dict[int, Tuple[int, int]]]:
+    """(correct, total) per site for every scheme over the complete stream.
+
+    Registry-spec schemes ride the fused sweep kernel
+    (:func:`repro.sim.analysis.per_site_accuracy_specs` — one pass, shared
+    per-pc grouping and history windows); schemes without a spec, or every
+    scheme when the vector backend is unavailable, fall back to the exact
+    same per-record replay the kernel is verified against.
+    """
+    from repro.sim.analysis import per_site_accuracy_specs
+
+    spec_map = {
+        scheme.name: scheme.spec for scheme in schemes if scheme.spec is not None
+    }
+    fused = per_site_accuracy_specs(spec_map, records) if spec_map else None
+    per_scheme: Dict[str, Dict[int, Tuple[int, int]]] = dict(fused or {})
+    for scheme in schemes:
+        if scheme.name not in per_scheme:
+            per_scheme[scheme.name] = _replay_per_site(scheme.factory(), records)
+    return per_scheme
+
+
 def _replay_per_site(
     predictor: ConditionalBranchPredictor,
     records: Sequence[BranchRecord],
 ) -> Dict[int, Tuple[int, int]]:
     """(correct, total) per site from replaying ``records`` — the same loop
     as :func:`repro.sim.analysis.per_site_accuracy`, kept dependency-free
-    so the analysis package does not import the simulator."""
+    so the analysis package works without the vector simulator."""
     correct: Dict[int, int] = {}
     total: Dict[int, int] = {}
     for record in records:
@@ -625,8 +664,9 @@ def analyze_program(
     # -- bounds ---------------------------------------------------------
     if walk.complete:
         records = _records_from_stream(walk.global_stream, targets)
+        per_scheme = _per_site_all_schemes(schemes, records)
         for scheme in schemes:
-            per_site = _replay_per_site(scheme.factory(), records)
+            per_site = per_scheme[scheme.name]
             for pc, (correct, total) in per_site.items():
                 report = reports.get(pc)
                 if report is None:

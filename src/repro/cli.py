@@ -589,7 +589,14 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect / manage the shard store behind the disk trace cache."""
+    """Inspect / manage the shard store behind the disk trace cache.
+
+    The sweep-result cache (:mod:`repro.sim.result_cache`) lives in
+    ``results/`` under the same root and is managed here too: the default
+    listing shows its rows, ``--evict`` accepts result digests alongside
+    shard stems, and ``--clear`` wipes both.
+    """
+    from repro.sim.result_cache import ResultCache
     from repro.trace.store import TraceStore
 
     root = args.cache_dir or default_cache_dir()
@@ -601,28 +608,40 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         return 2
     store = TraceStore(root)
+    results = ResultCache(store.root / "results")
     if args.clear:
         removed = store.clear()
-        print(f"cleared {removed} shard(s) from {store.root}")
+        removed_rows = results.clear()
+        print(
+            f"cleared {removed} shard(s) and {removed_rows} cached"
+            f" sweep result(s) from {store.root}"
+        )
         return 0
     if args.evict:
         removed = store.evict(args.evict)
         for stem in removed:
             print(f"evicted {stem}")
-        missing = [stem for stem in args.evict if stem not in removed]
+        missing = []
+        for stem in args.evict:
+            if stem in removed:
+                continue
+            if results.evict(stem):
+                print(f"evicted result {stem}")
+            else:
+                missing.append(stem)
         for stem in missing:
-            print(f"no such shard: {stem}", file=sys.stderr)
+            print(f"no such shard or result: {stem}", file=sys.stderr)
         return 1 if missing else 0
     if args.verify:
-        results = store.verify()
+        verified = store.verify()
         corrupt = 0
-        for stem, error in results:
+        for stem, error in verified:
             if error is None:
                 print(f"ok       {stem}")
             else:
                 corrupt += 1
                 print(f"CORRUPT  {stem}: {error}")
-        print(f"{len(results)} shard(s), {corrupt} corrupt")
+        print(f"{len(verified)} shard(s), {corrupt} corrupt")
         return 1 if corrupt else 0
     infos = store.entries()
     total = sum(info.bytes for info in infos)
@@ -638,6 +657,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"{info.stem:52s}{_human_bytes(info.bytes):>10s}"
                 f"{info.records:>12d}{info.compression:>6s}{info.hits:>6d}"
             )
+    rows = list(results.entries())
+    if rows:
+        row_bytes = sum(entry.size_bytes for entry in rows)
+        print(
+            f"\n{len(rows)} cached sweep result(s),"
+            f" {_human_bytes(row_bytes)} (digest / spec @ test trace)"
+        )
+        for entry in rows:
+            print(f"  {entry.digest}  [{entry.backend}] {entry.spec} @ {entry.test_stem}")
     return 0
 
 

@@ -177,6 +177,42 @@ def per_site_accuracy_many(
     }
 
 
+def per_site_accuracy_specs(
+    spec_texts: "Dict[str, str]",
+    records: Sequence[BranchRecord],
+) -> "Optional[Dict[str, Dict[int, tuple[int, int]]]]":
+    """Fused per-site maps for registry-spec schemes, or ``None``.
+
+    The fast twin of :func:`per_site_accuracy_many` for predictors that
+    have a :mod:`repro.predictors.spec` string: the trace packs once and
+    every scheme scores through the fused sweep kernel
+    (:func:`repro.sim.sweep.fused_per_site`) — shared per-pc grouping,
+    shared history windows, one two-level scan per group — with tallies
+    identical to the replay loop.  Returns ``None`` when the vector
+    backend is unavailable or any spec falls outside the fused kernel's
+    coverage, in which case the caller should replay instead.
+    """
+    from repro.predictors.spec import parse_spec
+    from repro.sim.backend import resolve_backend
+    from repro.sim.kernels import vectorizable
+    from repro.sim.sweep import fused_per_site, training_role
+    from repro.trace.columnar import pack_records
+
+    if resolve_backend("auto") != "vector":
+        return None
+    names = list(spec_texts)
+    parsed = [parse_spec(spec_texts[name]) for name in names]
+    if not all(vectorizable(spec) for spec in parsed):
+        return None
+    if any(training_role(spec) == "train" for spec in parsed):
+        return None  # ST-Diff needs a separate training trace; not our job
+    packed = pack_records(
+        record for record in records if record.cls is BranchClass.CONDITIONAL
+    )
+    maps = fused_per_site(parsed, packed, trainings={"test": packed})
+    return dict(zip(names, maps))
+
+
 def misprediction_mass(
     per_site: "Dict[int, tuple[int, int]]",
 ) -> Dict[int, int]:

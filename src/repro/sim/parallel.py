@@ -1,9 +1,11 @@
 """Parallel sweep execution over a process pool.
 
-The experiment grid behind every figure is (predictor spec x benchmark):
-dozens of independent simulations that a single CPython interpreter grinds
-through serially.  :func:`run_parallel_sweep` fans that grid out over a
-:class:`concurrent.futures.ProcessPoolExecutor`:
+The experiment grid behind every figure used to fan out as independent
+(spec x benchmark) cells; with the fused engine (:mod:`repro.sim.sweep`)
+the natural unit of work is a **benchmark's whole spec group** — one
+worker makes one pass over the trace and scores every fused spec against
+shared intermediates.  :func:`run_parallel_sweep` therefore partitions
+the grid as (benchmark -> spec-group):
 
 * The coordinating process first *warms* a shared on-disk
   :class:`~repro.workloads.base.TraceCache` — every benchmark's ISA trace is
@@ -12,12 +14,14 @@ through serially.  :func:`run_parallel_sweep` fans that grid out over a
   memory-mapped load whose pages the OS shares between them.  A memory-only
   cache is transparently given a temporary disk directory for the duration
   of the sweep.
-* Each task is a picklable ``(spec, benchmark, cap, backend)`` tuple; the
-  worker initializer builds a per-process cache against the shared directory,
-  so a worker that simulates several configurations of one benchmark loads
-  its trace once.  The backend is resolved (``auto`` -> ``scalar`` or
-  ``vector``) once in the coordinating process so every worker scores with
-  the same engine.
+* Each task is a picklable ``(benchmark, spec strings, cap, backend,
+  cache results?)`` tuple: one task carries a benchmark's entire fused
+  group (scored by :meth:`~repro.sim.runner.SweepRunner.score_benchmark`
+  in a single trace pass), plus one task per scalar-fallback spec so the
+  slow scalar cells still spread across workers.  The backend is resolved
+  (``auto`` -> ``scalar`` or ``vector``) once in the coordinating process
+  so every worker scores with the same engine, and the coordinator's
+  result-cache choice rides along so workers share the persisted rows.
 * Results merge into the :class:`~repro.sim.results.SweepResult` in the
   deterministic (spec-order, then benchmark-order) sequence of the serial
   runner, regardless of task completion order, so serial and parallel sweeps
@@ -38,16 +42,20 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.errors import WorkloadError
 from repro.predictors.spec import PredictorSpec, parse_spec
 from repro.sim.backend import resolve_backend
-from repro.sim.results import BenchmarkResult, PredictionStats, SweepResult
+from repro.sim.results import PredictionStats, SweepResult
+from repro.sim.sweep import SweepPlan
 from repro.workloads.base import TraceCache, get_workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.runner import SweepRunner
 
-#: (spec string, benchmark name, conditional-branch cap, resolved backend)
-Task = Tuple[str, str, int, str]
-#: picklable flat result: the four PredictionStats counters
+#: (benchmark, spec strings scored together, conditional-branch cap,
+#:  resolved backend, consult/fill the shared result cache?)
+Task = Tuple[str, Tuple[str, ...], int, str, bool]
+#: picklable flat result per spec: the four PredictionStats counters, or
+#: ``None`` for a cell skipped as unavailable (ST-Diff without training data)
 StatsTuple = Tuple[int, int, int, int]
+GroupResult = Tuple[Optional[StatsTuple], ...]
 
 _WORKER_CACHE: Optional[TraceCache] = None
 
@@ -65,68 +73,89 @@ def _init_worker(cache_dir: str) -> None:
     _WORKER_CACHE = TraceCache(disk_dir=cache_dir)
 
 
-def _run_task(task: Task) -> StatsTuple:
-    """Simulate one (spec, benchmark) cell inside a worker process."""
-    from repro.sim.runner import SweepRunner
+def _run_task(task: Task) -> GroupResult:
+    """Score one benchmark's spec group inside a worker process.
 
-    spec_text, benchmark, cap, backend = task
+    The worker's :class:`TraceCache` opens the coordinator-warmed shards
+    straight from the shared store directory (memory-mapped, zero-copy), and
+    ``score_benchmark`` replays the trace once for the whole group.
+    """
+    from repro.sim.runner import AUTO_RESULT_CACHE, SweepRunner
+
+    benchmark, spec_texts, cap, backend, cache_results = task
     assert _WORKER_CACHE is not None, "worker initializer did not run"
     runner = SweepRunner(
         benchmarks=[benchmark], max_conditional=cap, cache=_WORKER_CACHE,
         backend=backend,
+        result_cache=AUTO_RESULT_CACHE if cache_results else None,
     )
-    stats = runner.run_one(spec_text, benchmark).stats
-    return (
-        stats.conditional_total,
-        stats.conditional_correct,
-        stats.returns_total,
-        stats.returns_correct,
+    rows = runner.score_benchmark(list(spec_texts), benchmark, skip_unavailable=True)
+    return tuple(
+        None
+        if stats is None
+        else (
+            stats.conditional_total,
+            stats.conditional_correct,
+            stats.returns_total,
+            stats.returns_correct,
+        )
+        for stats in rows
     )
 
 
-def _plan_cells(
+def _check_available(
     specs: Sequence[PredictorSpec],
     benchmarks: Sequence[str],
     skip_unavailable: bool,
-) -> List[Tuple[int, str]]:
-    """The (spec index, benchmark) grid in deterministic serial order.
+) -> None:
+    """Raise the serial sweep's ST-Diff :class:`WorkloadError` up front.
 
-    Applies the serial runner's ST-Diff skipping rule up front so the task
-    list (and any :class:`~repro.errors.WorkloadError`) is identical to what
-    the serial sweep would produce.
+    Workers always score with ``skip_unavailable=True`` (a ``None`` row per
+    missing cell), so when the caller asked for hard failures the coordinator
+    must perform the check itself, before any worker starts, to fail
+    identically to the serial path.
     """
-    cells: List[Tuple[int, str]] = []
-    for index, spec in enumerate(specs):
+    if skip_unavailable:
+        return
+    for spec in specs:
+        if spec.scheme != "ST" or spec.data_mode != "Diff":
+            continue
         for benchmark in benchmarks:
-            if spec.scheme == "ST" and spec.data_mode == "Diff":
-                if not get_workload(benchmark).has_training_set:
-                    if skip_unavailable:
-                        continue
-                    raise WorkloadError(
-                        f"benchmark {benchmark!r} has no alternative training data set"
-                        " (Table 3 marks it NA)"
-                    )
-            cells.append((index, benchmark))
-    return cells
+            if not get_workload(benchmark).has_training_set:
+                raise WorkloadError(
+                    f"benchmark {benchmark!r} has no alternative training data set"
+                    " (Table 3 marks it NA)"
+                )
+
+
+def _plan_groups(
+    specs: Sequence[PredictorSpec], backend: str
+) -> List[Tuple[int, ...]]:
+    """Spec-index groups in deterministic order: the fused group first
+    (one trace pass per benchmark), then each scalar-fallback spec alone."""
+    plan = SweepPlan(specs, backend)
+    groups: List[Tuple[int, ...]] = []
+    if plan.fused:
+        groups.append(tuple(plan.fused))
+    groups.extend((index,) for index in plan.scalar)
+    return groups
 
 
 def _warm_disk_cache(
     cache: TraceCache,
     specs: Sequence[PredictorSpec],
-    cells: Sequence[Tuple[int, str]],
+    benchmarks: Sequence[str],
     cap: int,
 ) -> None:
     """Generate every trace the sweep needs, once, into the disk layer."""
-    needed: List[Tuple[str, str]] = []
-    for index, benchmark in cells:
-        spec = specs[index]
-        if (benchmark, "test") not in needed:
-            needed.append((benchmark, "test"))
-        if spec.scheme == "ST" and spec.data_mode == "Diff":
-            if (benchmark, "train") not in needed:
-                needed.append((benchmark, "train"))
-    for benchmark, role in needed:
-        cache.ensure_on_disk(get_workload(benchmark), role, cap)
+    needs_training = any(
+        spec.scheme == "ST" and spec.data_mode == "Diff" for spec in specs
+    )
+    for benchmark in benchmarks:
+        workload = get_workload(benchmark)
+        cache.ensure_on_disk(workload, "test", cap)
+        if needs_training and workload.has_training_set:
+            cache.ensure_on_disk(workload, "train", cap)
 
 
 def run_parallel_sweep(
@@ -149,9 +178,10 @@ def run_parallel_sweep(
     if jobs <= 1 or not parsed:
         return runner.run(parsed, skip_unavailable)
 
-    cells = _plan_cells(parsed, runner.benchmarks, skip_unavailable)
+    _check_available(parsed, runner.benchmarks, skip_unavailable)
     cap = runner.max_conditional
     backend = resolve_backend(runner.backend)
+    groups = _plan_groups(parsed, backend)
 
     temp_dir: Optional[str] = None
     if runner.cache.disk_dir is not None:
@@ -160,10 +190,24 @@ def run_parallel_sweep(
         temp_dir = tempfile.mkdtemp(prefix="repro-sweep-")
         disk_cache = runner.cache.with_disk(temp_dir)
     try:
-        _warm_disk_cache(disk_cache, parsed, cells, cap)
+        _warm_disk_cache(disk_cache, parsed, runner.benchmarks, cap)
+        # a temp-dir spill has no durable store, so persisting rows keyed to
+        # it would never be read back — skip the result cache in that case
+        cache_results = runner.result_cache is not None and temp_dir is None
+        cells: List[Tuple[str, Tuple[int, ...]]] = [
+            (benchmark, group)
+            for benchmark in runner.benchmarks
+            for group in groups
+        ]
         tasks: List[Task] = [
-            (parsed[index].canonical(), benchmark, cap, backend)
-            for index, benchmark in cells
+            (
+                benchmark,
+                tuple(parsed[index].canonical() for index in group),
+                cap,
+                backend,
+                cache_results,
+            )
+            for benchmark, group in cells
         ]
         try:
             outcomes = _dispatch(tasks, jobs, str(disk_cache.disk_dir))
@@ -177,7 +221,7 @@ def run_parallel_sweep(
             shutil.rmtree(temp_dir, ignore_errors=True)
 
 
-def _dispatch(tasks: Sequence[Task], jobs: int, cache_dir: str) -> List[StatsTuple]:
+def _dispatch(tasks: Sequence[Task], jobs: int, cache_dir: str) -> List[GroupResult]:
     """Run all tasks on the pool, preserving task order in the result list."""
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(tasks)),
@@ -189,26 +233,20 @@ def _dispatch(tasks: Sequence[Task], jobs: int, cache_dir: str) -> List[StatsTup
 
 def _merge(
     specs: Sequence[PredictorSpec],
-    cells: Sequence[Tuple[int, str]],
-    outcomes: Sequence[StatsTuple],
+    cells: Sequence[Tuple[str, Tuple[int, ...]]],
+    outcomes: Sequence[GroupResult],
     runner: "SweepRunner",
 ) -> SweepResult:
     """Assemble the SweepResult in the serial runner's deterministic order."""
-    by_cell: Dict[Tuple[int, str], StatsTuple] = dict(zip(cells, outcomes))
-    sweep = SweepResult()
-    for index, spec in enumerate(specs):
-        for benchmark in runner.benchmarks:
-            flat = by_cell.get((index, benchmark))
+    scored: Dict[Tuple[int, str], PredictionStats] = {}
+    for (benchmark, group), rows in zip(cells, outcomes):
+        for index, flat in zip(group, rows):
             if flat is None:
                 continue
-            stats = PredictionStats(
+            scored[(index, benchmark)] = PredictionStats(
                 conditional_total=flat[0],
                 conditional_correct=flat[1],
                 returns_total=flat[2],
                 returns_correct=flat[3],
             )
-            result = BenchmarkResult(
-                scheme=spec.canonical(), benchmark=benchmark, stats=stats
-            )
-            sweep.add(result, category=get_workload(benchmark).category)
-    return sweep
+    return runner.assemble(specs, scored)

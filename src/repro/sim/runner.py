@@ -9,12 +9,15 @@ collects everything into a :class:`~repro.sim.results.SweepResult`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import WorkloadError
 from repro.predictors.spec import PredictorSpec, parse_spec
+from repro.sim.backend import resolve_backend
 from repro.sim.kernels import choose_backend, score_spec
-from repro.sim.results import BenchmarkResult, SweepResult
+from repro.sim.result_cache import ResultCache
+from repro.sim.results import BenchmarkResult, PredictionStats, SweepResult
+from repro.sim.sweep import SweepPlan, TraceContext, fused_stats, training_role
 from repro.trace.record import BranchRecord
 from repro.workloads.base import (
     DEFAULT_CONDITIONAL_BRANCHES,
@@ -27,6 +30,10 @@ from repro.workloads.base import (
 )
 
 SpecLike = Union[str, PredictorSpec]
+
+#: sentinel for ``SweepRunner(result_cache=...)``: derive the sweep-result
+#: cache from the trace cache's store directory (disabled when memory-only)
+AUTO_RESULT_CACHE = "auto"
 
 
 def _as_spec(spec: SpecLike) -> PredictorSpec:
@@ -44,6 +51,13 @@ class SweepRunner:
         backend: simulation backend — ``auto`` (vector kernels when NumPy
             is available, scalar otherwise), ``scalar``, or ``vector``; see
             :mod:`repro.sim.backend`.  Results are identical either way.
+        result_cache: where finished stats rows persist
+            (:mod:`repro.sim.result_cache`).  The default
+            :data:`AUTO_RESULT_CACHE` puts them in ``results/`` next to the
+            trace cache's shard store (and disables caching for a
+            memory-only trace cache); pass ``None`` to disable, or a
+            :class:`~repro.sim.result_cache.ResultCache` to choose the
+            location.
     """
 
     def __init__(
@@ -52,11 +66,20 @@ class SweepRunner:
         max_conditional: int = DEFAULT_CONDITIONAL_BRANCHES,
         cache: Optional[TraceCache] = None,
         backend: str = "auto",
+        result_cache: "Optional[ResultCache | str]" = AUTO_RESULT_CACHE,
     ):
         self.benchmarks = list(benchmarks) if benchmarks is not None else workload_names()
         self.max_conditional = max_conditional
         self.cache = cache if cache is not None else default_cache()
         self.backend = backend
+        if result_cache == AUTO_RESULT_CACHE:
+            store = self.cache.store
+            self.result_cache: Optional[ResultCache] = (
+                ResultCache(store.root / "results") if store is not None else None
+            )
+        else:
+            assert result_cache is None or isinstance(result_cache, ResultCache)
+            self.result_cache = result_cache
 
     # ------------------------------------------------------------------
     def _workload(self, name: str) -> Workload:
@@ -127,6 +150,109 @@ class SweepRunner:
             scheme=parsed.canonical(), benchmark=benchmark, stats=stats
         )
 
+    # ------------------------------------------------------------------
+    def _cell_stems(
+        self, spec: PredictorSpec, workload: Workload
+    ) -> Tuple[str, Optional[str]]:
+        """The (test stem, training stem) naming one cell's trace inputs in
+        the result-cache key."""
+        test_stem = self.cache.stem_for(workload, "test", self.max_conditional)
+        role = training_role(spec)
+        if role is None:
+            return test_stem, None
+        if role == "test":
+            return test_stem, test_stem
+        return test_stem, self.cache.stem_for(workload, "train", self.max_conditional)
+
+    def score_benchmark(
+        self,
+        specs: Sequence[SpecLike],
+        benchmark: str,
+        skip_unavailable: bool = True,
+    ) -> List[Optional[PredictionStats]]:
+        """Score every spec against one benchmark, sharing the trace pass.
+
+        This is the fused engine's entry point (also used by the parallel
+        workers): vectorizable specs score through one
+        :func:`repro.sim.sweep.fused_stats` call over shared trace
+        intermediates, the rest fall back to the per-spec scalar path, and
+        the result cache is consulted per cell either way.  Returns one
+        stats row per spec, aligned with ``specs``; ``None`` marks an
+        unavailable cell (ST-Diff on a benchmark without a Table 3
+        training set) under ``skip_unavailable``.
+        """
+        parsed = [_as_spec(spec) for spec in specs]
+        workload = self._workload(benchmark)
+        results: List[Optional[PredictionStats]] = [None] * len(parsed)
+
+        available: List[int] = []
+        for index, spec in enumerate(parsed):
+            if (
+                spec.scheme == "ST"
+                and spec.data_mode == "Diff"
+                and not workload.has_training_set
+            ):
+                if skip_unavailable:
+                    continue
+                raise WorkloadError(
+                    f"benchmark {benchmark!r} has no alternative training data set"
+                    " (Table 3 marks it NA)"
+                )
+            available.append(index)
+
+        plan = SweepPlan(
+            [parsed[index] for index in available], resolve_backend(self.backend)
+        )
+        fused_pending: List[int] = []
+        scalar_pending: List[int] = []
+        for position, index in enumerate(available):
+            spec = parsed[index]
+            backend = choose_backend(spec, self.backend)
+            if self.result_cache is not None:
+                test_stem, train_stem = self._cell_stems(spec, workload)
+                hit = self.result_cache.get(
+                    spec.canonical(), test_stem, train_stem, backend
+                )
+                if hit is not None:
+                    results[index] = hit
+                    continue
+            if position in plan.fused:
+                fused_pending.append(index)
+            else:
+                scalar_pending.append(index)
+
+        if fused_pending:
+            pending = [parsed[index] for index in fused_pending]
+            trace = self.cache.get(workload, "test", self.max_conditional)
+            trainings: Dict[str, TraceContext] = {}
+            context = TraceContext(trace.packed())
+            roles = {training_role(spec) for spec in pending}
+            if "test" in roles:
+                trainings["test"] = context
+            if "train" in roles:
+                training = self._training_workload_trace(benchmark, "Diff")
+                trainings["train"] = TraceContext(training.packed())
+            fused_rows = fused_stats(
+                pending, trace.packed(), context=context,
+                training_contexts=trainings,
+            )
+            for index, stats in zip(fused_pending, fused_rows):
+                results[index] = stats
+        for index in scalar_pending:
+            results[index] = self.run_one(parsed[index], benchmark).stats
+        if self.result_cache is not None:
+            for index in fused_pending + scalar_pending:
+                stats = results[index]
+                if stats is None:
+                    continue
+                spec = parsed[index]
+                backend = choose_backend(spec, self.backend)
+                test_stem, train_stem = self._cell_stems(spec, workload)
+                self.result_cache.put(
+                    spec.canonical(), test_stem, train_stem, backend, stats
+                )
+        return results
+
     def run(
         self,
         specs: Iterable[SpecLike],
@@ -139,25 +265,49 @@ class SweepRunner:
         cannot exist — ST-Diff on the four benchmarks without a training set
         (the paper's Figure 8 leaves those columns blank too).
 
-        ``jobs`` > 1 fans the (spec x benchmark) grid out over that many
-        worker processes (``0`` means one per CPU) via
-        :func:`repro.sim.parallel.run_parallel_sweep`; the merged result is
-        identical to the serial sweep.
+        The serial sweep walks the grid benchmark-major so each
+        benchmark's trace intermediates are shared across the whole spec
+        list by the fused engine (:meth:`score_benchmark`); the final
+        :class:`SweepResult` is assembled in the historical (spec-order,
+        then benchmark-order) sequence, so sweeps are byte-identical to
+        the per-cell path.
+
+        ``jobs`` > 1 fans (benchmark x spec-group) tasks out over that
+        many worker processes (``0`` means one per CPU) via
+        :func:`repro.sim.parallel.run_parallel_sweep`; the merged result
+        is identical to the serial sweep.
         """
+        parsed = [_as_spec(spec) for spec in specs]
         if jobs != 1:
             from repro.sim.parallel import run_parallel_sweep
 
-            return run_parallel_sweep(self, list(specs), jobs, skip_unavailable)
+            return run_parallel_sweep(self, parsed, jobs, skip_unavailable)
+        cells: Dict[Tuple[int, str], PredictionStats] = {}
+        for benchmark in self.benchmarks:
+            for index, stats in enumerate(
+                self.score_benchmark(parsed, benchmark, skip_unavailable)
+            ):
+                if stats is not None:
+                    cells[(index, benchmark)] = stats
+        return self.assemble(parsed, cells)
+
+    def assemble(
+        self,
+        parsed: Sequence[PredictorSpec],
+        cells: Mapping[Tuple[int, str], PredictionStats],
+    ) -> SweepResult:
+        """Collect scored cells into a :class:`SweepResult` in the
+        deterministic (spec-order, then benchmark-order) sequence the
+        per-cell sweep produced, regardless of scoring order."""
         sweep = SweepResult()
-        for spec in specs:
-            parsed = _as_spec(spec)
+        for index, spec in enumerate(parsed):
             for benchmark in self.benchmarks:
-                try:
-                    result = self.run_one(parsed, benchmark)
-                except WorkloadError:
-                    if skip_unavailable and parsed.scheme == "ST":
-                        continue
-                    raise
+                stats = cells.get((index, benchmark))
+                if stats is None:
+                    continue
+                result = BenchmarkResult(
+                    scheme=spec.canonical(), benchmark=benchmark, stats=stats
+                )
                 sweep.add(result, category=self._workload(benchmark).category)
         return sweep
 

@@ -252,6 +252,18 @@ class TraceCache:
             workload.dataset(role).params,
         )
 
+    def stem_for(
+        self, workload: Workload, role: str, max_conditional: int
+    ) -> str:
+        """The content-addressed store stem identifying one trace.
+
+        The stem digests the workload name, role, cap, generator version
+        and dataset parameters, so it is stable across processes and
+        changes whenever the trace's content would — which makes it the
+        trace half of a sweep-result cache key
+        (:mod:`repro.sim.result_cache`)."""
+        return self._stem(workload, role, max_conditional)[0]
+
     def get(
         self,
         workload: Workload,
