@@ -9,8 +9,12 @@ back from a warm (memory-mapped) store, and simulating through the parallel
 engine.  Scale follows ``REPRO_BENCH_SCALE`` like the figure benches (CI
 smoke runs use a tiny value; ``paper`` selects the paper's 20M), and
 setting ``REPRO_BENCH_RECORD=1`` merges the measured numbers into
-``BENCH_kernels.json`` at the repo root — each test owns its own section,
-so recording one never clobbers the other.
+``BENCH_kernels.json`` at the repo root.  Like ``BENCH_serve.json`` the
+file is a dated trend log — ``{"entries": [{"date": ..., "kernels": ...,
+"end_to_end": ...}, ...]}`` — so regressions are visible across recording
+runs; a pre-trend single-payload file is auto-converted on read.  Each
+test owns its own section of the day's entry, so recording one never
+clobbers the other.
 
 Skips entirely when NumPy is not installed (the kernels are an optional
 fast path; the scalar engine remains the authority).
@@ -43,6 +47,8 @@ FAMILIES = [
     ("stateless BTFN", "BTFN"),
     ("AHRT two-level", "AT(AHRT(512,12SR),PT(2^12,A2),)"),
     ("HHRT two-level", "AT(HHRT(512,12SR),PT(2^12,A2),)"),
+    ("perceptron", "perceptron(12,512)"),
+    ("TAGE", "tage(4,9)"),
 ]
 
 _RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
@@ -62,15 +68,37 @@ def _best_of(run, repeats=5):
     return min(timings), result
 
 
-def _merge_record(section: str, payload: dict) -> None:
-    """Update one section of BENCH_kernels.json, preserving the others."""
+def load_trend_entries(path: Path = _RESULT_PATH) -> list:
+    """BENCH_kernels.json trend entries, auto-converting a legacy payload.
+
+    A pre-trend file held the sections at top level; it becomes the first
+    entry with ``date: null`` so history survives the format change.
+    """
     try:
-        existing = json.loads(_RESULT_PATH.read_text())
+        existing = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
-        existing = {}
-    existing[section] = payload
-    _RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
-    print(f"  recorded [{section}] -> {_RESULT_PATH}")
+        return []
+    if isinstance(existing, dict) and isinstance(existing.get("entries"), list):
+        return existing["entries"]
+    if isinstance(existing, dict) and existing:
+        return [{"date": None, **existing}]
+    return []
+
+
+def _merge_record(section: str, payload: dict) -> None:
+    """Merge one section into today's trend entry of BENCH_kernels.json."""
+    import datetime
+
+    entries = load_trend_entries()
+    today = datetime.date.today().isoformat()
+    if entries and entries[-1].get("date") == today:
+        entry = entries[-1]
+    else:
+        entry = {"date": today}
+        entries.append(entry)
+    entry[section] = payload
+    _RESULT_PATH.write_text(json.dumps({"entries": entries}, indent=2) + "\n")
+    print(f"  recorded [{section}] @ {today} -> {_RESULT_PATH}")
 
 
 def test_kernel_vs_scalar_speedup(bench_cache):

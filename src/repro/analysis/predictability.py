@@ -29,8 +29,24 @@ stream is only partially known, self-contained schemes (whose predictions
 for a site depend only on that site's own stream — AlwaysTaken,
 AlwaysNotTaken, BTFN, Profile, LS over an ideal HRT, PAp) still get exact
 partial replay plus a sound slack term, while shared-state schemes (AT's
-global pattern table, GAg, gshare) degrade to ``[0, n]`` with a replay
-*estimate*.
+global pattern table, GAg, gshare, and the modern subsystem) degrade to
+``[0, n]`` with a replay *estimate*.
+
+The modern schemes (:mod:`repro.predictors.modern`) bound the same way —
+replay over the reconstructed global stream — but their *rationale*
+connects to the static classes differently from the 1991 designs:
+
+* the **perceptron** learns any *linearly separable* function of the last
+  ``h`` global outcomes, so a ``correlated(d)`` site is learnable exactly
+  when its ``d`` source outcomes all fall inside the history window and
+  combine linearly; its bound therefore tightens with ``depth <= h`` and
+  the replay shows where nonlinear combinations (XOR-like correlations)
+  cap it;
+* **TAGE** is bounded by its *longest-history table* (``history_length``
+  of the spec — 32 bits at four tables): periodic or correlated behaviour
+  whose span exceeds that window cannot be captured by any tagged entry,
+  which is exactly the slack the replay estimate exposes on long-period
+  loop sites.
 
 The closed-form steady-state results quoted in the paper's terms (LS
 misses ~2 per period with LT, 1 with A2; two-level AT with ``k >= p``
@@ -127,6 +143,17 @@ ANALYSIS_SCHEMES: Tuple[AnalysisScheme, ...] = (
     ),
     AnalysisScheme("GAg(8,A2)", _spec_factory("GAg(8)"), False, "GAg(8)"),
     AnalysisScheme("gshare(8,A2)", _spec_factory("gshare(8)"), False, "gshare(8)"),
+    # the modern subsystem: global-history state shared across sites, so
+    # not self-contained; bounds are tight on complete walks (replay) and
+    # degrade to [0, n] + estimate otherwise (see module docstring for the
+    # correlated(d)-vs-h and longest-table rationale)
+    AnalysisScheme(
+        "perceptron(12,512)",
+        _spec_factory("perceptron(12,512)"),
+        False,
+        "perceptron(12,512)",
+    ),
+    AnalysisScheme("tage(4,9)", _spec_factory("tage(4,9)"), False, "tage(4,9)"),
 )
 
 #: Scheme whose misprediction mass ranks the static H2P candidates; chosen

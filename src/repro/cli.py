@@ -15,6 +15,9 @@ Subcommands:
 * ``repro lint [<workload>|<file.s> ...]`` — static analysis (CFG, dataflow,
   rules R001..R008) over workload programs or assembly files; optional
   static-vs-dynamic cross-validation.  See ``docs/analysis.md``.
+* ``repro h2p [--top N] [--scale N] [--benchmarks a,b,...]`` — score the
+  modern subsystem (perceptron, TAGE) against AT and gshare on the static
+  H2P ranking, with per-site misprediction-mass recovery (fig11).
 * ``repro serve [--host H] [--port P] [--backend B] ...`` — run the online
   prediction service (sessions over TCP; see ``docs/serving.md``).
 * ``repro bench-serve [--sessions N] [--scale N] ...`` — load-test an
@@ -412,6 +415,63 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return worst
 
 
+def _cmd_h2p(args: argparse.Namespace) -> int:
+    from repro.experiments.fig11_h2p import SPECS, run as run_fig11, site_table
+
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    cache = _build_cache(args)
+    report = run_fig11(
+        max_conditional=args.scale,
+        benchmarks=benchmarks,
+        cache=cache,
+        backend=args.backend,
+        top=args.top,
+    )
+    sites = site_table(
+        max_conditional=args.scale,
+        benchmarks=benchmarks,
+        cache=cache,
+        backend=args.backend,
+        top=args.top,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "exp_id": report.exp_id,
+                    "title": report.title,
+                    "schemes": list(SPECS),
+                    "rows": report.rows,
+                    "sites": sites,
+                    "shape_checks": [
+                        {
+                            "description": check.description,
+                            "passed": check.passed,
+                            "detail": check.detail,
+                        }
+                        for check in report.shape_checks
+                    ],
+                    "notes": report.notes,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(report.render())
+        if sites:
+            from repro.experiments.reporting import render_table
+
+            print("\nPer-site mispredictions (static H2P ranking):")
+            print(render_table(sites))
+    if not report.all_passed:
+        print(
+            f"{len(report.failures())} shape check(s) FAILED", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -687,6 +747,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "LS(AHRT(512,A2),,)",
         "BTFN",
         "gshare(12)",
+        "perceptron(12,512)",
+        "tage(4,9)",
     ):
         print(f"  {example}")
     print(
@@ -697,6 +759,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "Predictability: repro analyze [workload|file.s ...] (classes,"
         " per-scheme bounds, H2P ranking; --cross-validate checks them"
         " against the simulator)"
+    )
+    print(
+        "Modern schemes: repro h2p (perceptron/TAGE vs AT on the static"
+        " H2P sites; see docs/predictors.md)"
     )
     print(
         "Serving: repro serve (online prediction sessions over TCP) and"
@@ -850,6 +916,26 @@ def build_parser() -> argparse.ArgumentParser:
              " covers per program",
     )
     analyze_parser.set_defaults(func=_cmd_analyze)
+
+    h2p_parser = sub.add_parser(
+        "h2p",
+        help="modern schemes (perceptron, TAGE) vs AT on the static H2P sites",
+    )
+    h2p_parser.add_argument("--benchmarks", help="comma-separated workload subset")
+    h2p_parser.add_argument(
+        "--scale", type=_scale_arg, default=DEFAULT_CONDITIONAL_BRANCHES,
+        help="conditional branches per benchmark, or 'paper' (20,000,000)",
+    )
+    h2p_parser.add_argument(
+        "--top", type=int, default=5,
+        help="number of top static H2P sites to score per benchmark",
+    )
+    h2p_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report (rows, per-site table, shape checks) as JSON",
+    )
+    _add_perf_options(h2p_parser)
+    h2p_parser.set_defaults(func=_cmd_h2p)
 
     serve_parser = sub.add_parser(
         "serve", help="run the online prediction service (docs/serving.md)"

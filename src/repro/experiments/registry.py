@@ -2,7 +2,9 @@
 
 The ids follow the paper's artefact numbering: ``fig3`` .. ``fig10``,
 ``table1`` .. ``table3`` (table3 is exercised inside fig8, which consumes
-the training/testing data-set pairs).
+the training/testing data-set pairs).  ``fig11`` is a repo extension: the
+modern-predictor subsystem (perceptron, TAGE) scored against AT on the
+static H2P ranking.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ def _load() -> Dict[str, ExperimentSpec]:
         fig8_static_training,
         fig9_other_schemes,
         fig10_comparison,
+        fig11_h2p,
         table1_static_branches,
         table2_configs,
         table3_datasets,
@@ -106,6 +109,12 @@ def _load() -> Dict[str, ExperimentSpec]:
             "Comparison of branch prediction schemes",
             "Figure 10",
             fig10_comparison.run,
+        ),
+        ExperimentSpec(
+            "fig11",
+            "Modern schemes (perceptron, TAGE) on the static H2P sites",
+            "extension (Jimenez/Lin perceptron; Seznec TAGE)",
+            fig11_h2p.run,
         ),
     ]
     return {spec.exp_id: spec for spec in specs}

@@ -18,6 +18,8 @@ Public surface:
   turns strings like ``"AT(AHRT(512,12SR),PT(2^12,A2))"`` into predictors.
 * :mod:`repro.predictors.extensions` — post-paper global-history variants
   (GAg, gshare) for the future-work ablations.
+* :mod:`repro.predictors.modern` — the modern subsystem (perceptron,
+  TAGE), the comparators for the H2P pipeline (``repro h2p``).
 """
 
 from repro.predictors.automata import (
@@ -36,6 +38,7 @@ from repro.predictors.cost import StorageCost, storage_cost
 from repro.predictors.extensions import GAgPredictor, GSharePredictor
 from repro.predictors.history import ShiftRegister
 from repro.predictors.hrt import AHRT, HHRT, IHRT, HistoryRegisterTable
+from repro.predictors.modern import PerceptronPredictor, TagePredictor, TageState
 from repro.predictors.pattern_table import PatternTable
 from repro.predictors.ras import ReturnAddressStack
 from repro.predictors.spec import PredictorSpec, parse_spec
@@ -83,8 +86,11 @@ __all__ = [
     "LAST_TIME",
     "LeeSmithPredictor",
     "PatternTable",
+    "PerceptronPredictor",
     "PredictorSpec",
     "ProfilePredictor",
+    "TagePredictor",
+    "TageState",
     "ReturnAddressStack",
     "ShiftRegister",
     "StorageCost",

@@ -71,6 +71,33 @@ def storage_cost(spec: "PredictorSpec | str") -> StorageCost:
         assert parsed.history_length is not None
         k = parsed.history_length
         return StorageCost(hrt_bits=k, tag_bits=0, pattern_bits=2 * (1 << k))
+    if parsed.scheme == "Perceptron":
+        # rows x (h+1) 8-bit weights; the history register is the only
+        # other state (the "pattern" store is the weight memory)
+        assert parsed.history_length is not None and parsed.rows is not None
+        h = parsed.history_length
+        return StorageCost(
+            hrt_bits=h,
+            tag_bits=0,
+            pattern_bits=parsed.rows * (h + 1) * 8,
+        )
+    if parsed.scheme == "TAGE":
+        # base bimodal (2-bit counters) plus t tagged tables of
+        # (3-bit ctr + 2-bit u + valid) entries with TAG_BITS-wide tags
+        from repro.predictors.modern import (
+            BASE_EXTRA_BITS,
+            DEFAULT_ENTRY_BITS,
+            TAG_BITS,
+        )
+
+        assert parsed.tage_tables is not None and parsed.history_length is not None
+        bits = parsed.tage_entry_bits or DEFAULT_ENTRY_BITS
+        entries = parsed.tage_tables * (1 << bits)
+        return StorageCost(
+            hrt_bits=parsed.history_length,
+            tag_bits=entries * TAG_BITS,
+            pattern_bits=2 * (1 << (bits + BASE_EXTRA_BITS)) + entries * (3 + 2 + 1),
+        )
 
     if parsed.hrt_kind is None:
         raise ConfigError(f"cannot cost scheme {parsed.scheme!r}")

@@ -1,0 +1,110 @@
+"""Jiménez & Lin perceptron branch predictor.
+
+Each table row holds a signed weight vector ``w[0..h]``; the prediction
+for a branch is the sign of the dot product of that vector with the
+bipolar global history (``+1`` for taken, ``-1`` for not taken, ``w[0]``
+against a constant ``+1`` bias input)::
+
+    y = w[0] + sum_i w[i] * x_i        predict taken iff y >= 0
+
+Training runs on a misprediction *or* whenever ``|y|`` is at or below the
+threshold ``theta = floor(1.93 * h + 14)`` (the paper's empirically-best
+margin): every weight moves one step toward agreement with the outcome,
+saturating at the 8-bit range ``[-128, 127]``.
+
+The structure is deliberately the classic 2001 HPCA design — one global
+history register, rows selected by branch address modulo table size — so
+its per-site behaviour is comparable against the 1991 two-level schemes
+the repo reproduces: it learns *linearly separable* functions of the last
+``h`` outcomes, which covers the static analyzer's ``correlated(d)``
+class whenever the correlated sources fall inside the history window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.predictors.base import ConditionalBranchPredictor
+
+#: 8-bit saturating weight range.
+WEIGHT_MIN = -128
+WEIGHT_MAX = 127
+
+#: default number of weight-vector rows (4 KB-class table at h=12).
+DEFAULT_ROWS = 512
+
+#: widest supported history: history registers are replayed as int64
+#: columns by the vector kernels, so the window must fit 62 bits.
+MAX_HISTORY = 62
+
+
+def perceptron_threshold(history_length: int) -> int:
+    """Jiménez & Lin's training threshold ``floor(1.93 * h + 14)``."""
+    return int(1.93 * history_length + 14)
+
+
+class PerceptronPredictor(ConditionalBranchPredictor):
+    """Global-history perceptron predictor (Jiménez & Lin, HPCA 2001).
+
+    ``history_length`` is the global-history window ``h``; ``rows`` the
+    number of weight vectors (selected by ``(pc >> 2) % rows``).  Bit
+    ``j-1`` of the history register is the outcome ``j`` branches ago,
+    matching the repo's other global-history predictors (gshare init-0).
+    """
+
+    def __init__(self, history_length: int, rows: int = DEFAULT_ROWS):
+        if not 1 <= history_length <= MAX_HISTORY:
+            raise ConfigError(
+                f"perceptron history length must be in 1..{MAX_HISTORY},"
+                f" got {history_length}"
+            )
+        if rows < 1:
+            raise ConfigError(f"perceptron rows must be >= 1, got {rows}")
+        self.history_length = history_length
+        self.rows = rows
+        self.theta = perceptron_threshold(history_length)
+        self._mask = (1 << history_length) - 1
+        self._weights: List[List[int]] = [
+            [0] * (history_length + 1) for _ in range(rows)
+        ]
+        self._history = 0
+
+    # ------------------------------------------------------------------
+    def _output(self, pc: int) -> int:
+        weights = self._weights[(pc >> 2) % self.rows]
+        y = weights[0]
+        history = self._history
+        for i in range(self.history_length):
+            if (history >> i) & 1:
+                y += weights[i + 1]
+            else:
+                y -= weights[i + 1]
+        return y
+
+    def predict(self, pc: int, target: int) -> bool:
+        return self._output(pc) >= 0
+
+    def update(self, pc: int, target: int, taken: bool) -> None:
+        y = self._output(pc)
+        if (y >= 0) != taken or abs(y) <= self.theta:
+            weights = self._weights[(pc >> 2) % self.rows]
+            step = 1 if taken else -1
+            weights[0] = min(WEIGHT_MAX, max(WEIGHT_MIN, weights[0] + step))
+            history = self._history
+            for i in range(self.history_length):
+                delta = step if (history >> i) & 1 else -step
+                weights[i + 1] = min(
+                    WEIGHT_MAX, max(WEIGHT_MIN, weights[i + 1] + delta)
+                )
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._mask
+
+    def reset(self) -> None:
+        for row in self._weights:
+            for i in range(len(row)):
+                row[i] = 0
+        self._history = 0
+
+    @property
+    def name(self) -> str:
+        return f"perceptron({self.history_length},{self.rows})"

@@ -15,7 +15,9 @@ different data set than it was trained on.
 :meth:`PredictorSpec.build` instantiates the predictor (Static Training
 additionally needs the training trace).  The simple schemes are accepted by
 bare name: ``AlwaysTaken``, ``AlwaysNotTaken``, ``BTFN``, ``Profile``,
-``GAg(k)``, ``gshare(k)``.
+``GAg(k)``, ``gshare(k)``.  The modern subsystem
+(:mod:`repro.predictors.modern`) registers as ``perceptron(h[,rows])``
+and ``tage(tables[,entry_bits])``.
 """
 
 from __future__ import annotations
@@ -30,6 +32,13 @@ from repro.predictors.base import ConditionalBranchPredictor
 from repro.predictors.btb import LeeSmithPredictor
 from repro.predictors.extensions import GAgPredictor, GSharePredictor
 from repro.predictors.hrt import AHRT, HHRT, IHRT, HistoryRegisterTable
+from repro.predictors.modern import (
+    DEFAULT_ENTRY_BITS,
+    DEFAULT_ROWS,
+    PerceptronPredictor,
+    TagePredictor,
+    tage_geometries,
+)
 from repro.predictors.pattern_table import PatternTable
 from repro.predictors.static_schemes import (
     AlwaysNotTaken,
@@ -43,6 +52,9 @@ from repro.trace.record import BranchRecord
 
 _SR_CONTENT = re.compile(r"^(\d+)\s*SR$", re.IGNORECASE)
 _SIMPLE_GLOBAL = re.compile(r"^(gag|gshare)\s*\(\s*(\d+)\s*(?:,\s*(\w[\w-]*)\s*)?\)$", re.IGNORECASE)
+_MODERN = re.compile(
+    r"^(perceptron|tage)\s*\(\s*(\d+)\s*(?:,\s*(\d+)\s*)?\)$", re.IGNORECASE
+)
 
 
 def _split_top_level(text: str) -> List[str]:
@@ -104,6 +116,11 @@ class PredictorSpec:
     pt_automaton: Optional[Automaton] = None  # None for ST's preset bits
     data_mode: Optional[str] = None  # "Same" | "Diff" for ST
     hrt_associativity: int = 4
+    # modern subsystem (Perceptron / TAGE); ``history_length`` doubles as
+    # the perceptron window h and as TAGE's longest geometric history
+    rows: Optional[int] = None  # perceptron weight-vector rows
+    tage_tables: Optional[int] = None
+    tage_entry_bits: Optional[int] = None
 
     # ------------------------------------------------------------------
     def make_hrt(self, init_payload: int = 0) -> HistoryRegisterTable:
@@ -162,6 +179,14 @@ class PredictorSpec:
         if self.scheme == "gshare":
             assert self.history_length is not None
             return GSharePredictor(self.history_length, self.pt_automaton or automaton_by_name("A2"))
+        if self.scheme == "Perceptron":
+            assert self.history_length is not None
+            return PerceptronPredictor(self.history_length, self.rows or DEFAULT_ROWS)
+        if self.scheme == "TAGE":
+            assert self.tage_tables is not None
+            return TagePredictor(
+                self.tage_tables, self.tage_entry_bits or DEFAULT_ENTRY_BITS
+            )
         raise SpecParseError(f"unknown scheme {self.scheme!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
@@ -172,6 +197,11 @@ class PredictorSpec:
         if self.scheme in ("GAg", "gshare"):
             automaton = self.pt_automaton or automaton_by_name("A2")
             return f"{self.scheme}({self.history_length},{automaton.name})"
+        if self.scheme == "Perceptron":
+            return f"perceptron({self.history_length},{self.rows or DEFAULT_ROWS})"
+        if self.scheme == "TAGE":
+            bits = self.tage_entry_bits or DEFAULT_ENTRY_BITS
+            return f"tage({self.tage_tables},{bits})"
         size = "" if self.hrt_kind == "IHRT" else str(self.hrt_entries)
         if self.scheme == "LS":
             assert self.hrt_automaton is not None
@@ -209,6 +239,9 @@ def parse_spec(text: str) -> PredictorSpec:
             history_length=int(match.group(2)),
             pt_automaton=automaton,
         )
+    match = _MODERN.match(stripped)
+    if match:
+        return _parse_modern(match, text)
 
     scheme_name, body = _call_body(stripped, "spec")
     scheme = scheme_name.upper()
@@ -230,6 +263,39 @@ def parse_spec(text: str) -> PredictorSpec:
     _parse_data_part(spec, data_part, text)
     _validate(spec, text)
     return spec
+
+
+def _parse_modern(match: "re.Match[str]", full: str) -> PredictorSpec:
+    """``perceptron(h[,rows])`` / ``tage(tables[,entry_bits])``."""
+    family = match.group(1).lower()
+    first = int(match.group(2))
+    second = int(match.group(3)) if match.group(3) else None
+    if family == "perceptron":
+        from repro.predictors.modern import MAX_HISTORY
+
+        if not 1 <= first <= MAX_HISTORY:
+            raise SpecParseError(
+                f"perceptron history length must be in 1..{MAX_HISTORY} in {full!r}"
+            )
+        rows = second if second is not None else DEFAULT_ROWS
+        if rows < 1:
+            raise SpecParseError(f"perceptron rows must be >= 1 in {full!r}")
+        return PredictorSpec(scheme="Perceptron", history_length=first, rows=rows)
+    from repro.predictors.modern import MAX_TABLES
+
+    if not 1 <= first <= MAX_TABLES:
+        raise SpecParseError(
+            f"tage tables must be in 1..{MAX_TABLES} in {full!r}"
+        )
+    bits = second if second is not None else DEFAULT_ENTRY_BITS
+    if not 1 <= bits <= 16:
+        raise SpecParseError(f"tage entry bits must be in 1..16 in {full!r}")
+    return PredictorSpec(
+        scheme="TAGE",
+        history_length=tage_geometries(first)[-1],
+        tage_tables=first,
+        tage_entry_bits=bits,
+    )
 
 
 def _parse_hrt_part(spec: PredictorSpec, hrt_part: str, full: str) -> None:

@@ -19,6 +19,26 @@ scores whole predictor families with columnar batch operations instead:
     pass is a pure table lookup after the same history derivation);
   - the global-history extensions GAg and gshare (single global window).
 
+* **Modern schemes** (:mod:`repro.predictors.modern`) use two further
+  decompositions:
+
+  - the perceptron's global histories are precomputed from the outcome
+    column, which makes its per-row weight vectors independent streams:
+    the trace is bucketed by weight row, and each row runs an *adaptive
+    speculative block scan* — a block is scored against the row snapshot
+    with one dot product, the first *training event* (mispredict or
+    ``|y| <= theta``) is located, its update applied, and the scan
+    resumes after it.  Predictions up to and including the first event
+    are exact because perceptron state only changes on training events;
+    block sizes adapt per row, so one densely-training hot branch cannot
+    cap every other row's stride.
+  - TAGE's tables couple through provider selection and allocation, so
+    its per-record state walk is inherently sequential; the kernel
+    instead lifts all the *hash* work — per-table folded indices and
+    tags over the global-history column — into whole-column NumPy
+    passes, then drives the same :class:`~repro.predictors.modern.TageState`
+    update rule the scalar predictor uses, guaranteeing bit-exactness.
+
   Each bucket's outcome sequence is replayed through the automaton's
   precomputed (at most 4-state) transition table with a segmented
   function-composition doubling scan: ``O(n * states * log n)`` NumPy work
@@ -55,6 +75,15 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 from repro.errors import ConfigError, KernelError
 from repro.predictors.automata import A2, Automaton
 from repro.predictors.hrt import _HASH_MULTIPLIER
+from repro.predictors.modern import (
+    BASE_EXTRA_BITS,
+    DEFAULT_ENTRY_BITS,
+    TAG_BITS,
+    WEIGHT_MAX,
+    WEIGHT_MIN,
+    TageState,
+    perceptron_threshold,
+)
 from repro.predictors.spec import PredictorSpec
 from repro.sim.backend import numpy_or_none
 from repro.sim.results import PredictionStats
@@ -88,6 +117,10 @@ def vectorizable(spec: PredictorSpec) -> bool:
         return spec.history_length is not None
     if spec.scheme in ("AT", "ST", "LS"):
         return spec.hrt_kind in ("IHRT", "AHRT", "HHRT")
+    if spec.scheme == "Perceptron":
+        return spec.history_length is not None
+    if spec.scheme == "TAGE":
+        return spec.tage_tables is not None
     return False
 
 
@@ -421,6 +454,153 @@ def _preset_bits(
     return net >= 0
 
 
+# ----------------------------------------------------------------------
+# modern-subsystem kernels (perceptron / TAGE)
+# ----------------------------------------------------------------------
+#: speculative block-scan geometry: start small (training-dense warmup),
+#: double on event-free blocks up to the cap (saturated steady state).
+_PERCEPTRON_BLOCK_MIN = 8
+_PERCEPTRON_BLOCK_MAX = 4096
+
+
+def _perceptron_predictions(
+    np: Any,
+    rows_index: Any,
+    histories: Any,
+    taken: Any,
+    history_length: int,
+    weights: Any,
+) -> Any:
+    """Row-bucketed speculative block scan over the perceptron table.
+
+    ``weights`` is the live ``(rows, h+1)`` int array — it is **mutated**
+    (this is what lets the streaming scorers carry it across batches).
+    The global histories are precomputed from the known outcomes, so the
+    per-row weight vectors are fully independent streams: the trace is
+    bucketed by row (the same segmented-sort machinery as the AHRT/HHRT
+    replays) and each row runs its own adaptive speculative scan.  Within
+    a row a block scored against the weight snapshot is exact up to and
+    including the first *training event* (mispredict or ``|y| <= theta``),
+    because perceptron state only changes on training events; the event's
+    update is applied and the scan resumes after it.  Bucketing matters
+    because hot rows train densely — scanning them separately keeps one
+    busy branch from capping every other row's block size.
+    """
+    n = len(taken)
+    out = np.empty(n, dtype=bool)
+    if n == 0:
+        return out
+    theta = perceptron_threshold(history_length)
+    shifts = np.arange(history_length, dtype=np.int64)
+    taken_b = taken.astype(bool)
+    order = np.argsort(rows_index, kind="stable")
+    sorted_rows = rows_index[order]
+    boundaries = np.flatnonzero(np.diff(sorted_rows)) + 1
+    for segment in np.split(order, boundaries):
+        row = weights[int(rows_index[segment[0]])]  # (h+1,) view
+        bipolar = (
+            ((histories[segment, None] >> shifts) & 1) * 2 - 1
+        )  # (m, h) in {-1, +1}
+        outcome = taken_b[segment]
+        outcome_list = outcome.tolist()
+        # the event condition folds to one comparison: for a taken outcome
+        # it is (y < 0) or (|y| <= theta) == (y <= theta); for not-taken,
+        # (y >= 0) or (|y| <= theta) == (y >= -theta) == (-y <= theta)
+        sign = np.where(outcome, 1, -1)
+        m = len(segment)
+        predictions = np.empty(m, dtype=bool)
+        start = 0
+        block = _PERCEPTRON_BLOCK_MIN
+        while start < m:
+            stop = min(m, start + block)
+            y = row[0] + bipolar[start:stop] @ row[1:]
+            event = y * sign[start:stop] <= theta
+            first = int(np.argmax(event))
+            if not event[first]:
+                predictions[start:stop] = y >= 0
+                start = stop
+                block = min(block * 2, _PERCEPTRON_BLOCK_MAX)
+                continue
+            predictions[start : start + first + 1] = y[: first + 1] >= 0
+            step = 1 if outcome_list[start + first] else -1
+            row[0] += step
+            row[1:] += step * bipolar[start + first]
+            np.clip(row, WEIGHT_MIN, WEIGHT_MAX, out=row)
+            start += first + 1
+            block = max(_PERCEPTRON_BLOCK_MIN, min((first + 1) * 2, block))
+        out[segment] = predictions
+    return out
+
+
+def _perceptron_table(np: Any, spec: PredictorSpec) -> Any:
+    """A fresh zeroed weight table for ``spec`` (int64: the dot products
+    and the clip run in one dtype, no overflow at any h <= 62)."""
+    assert spec.history_length is not None and spec.rows is not None
+    return np.zeros((spec.rows, spec.history_length + 1), dtype=np.int64)
+
+
+def _tage_fold_columns(np: Any, histories: Any, length: int, bits: int) -> Any:
+    """Columnar twin of :func:`repro.predictors.modern.fold_history`."""
+    folded = np.zeros(len(histories), dtype=np.int64)
+    value = histories & ((1 << length) - 1)
+    mask = (1 << bits) - 1
+    for _ in range((length + bits - 1) // bits):
+        folded ^= value & mask
+        value = value >> bits
+    return folded
+
+
+def _tage_predictions(
+    np: Any, pc: Any, histories: Any, taken: Any, state: TageState
+) -> Any:
+    """TAGE predictions with columnar hashing and a sequential state walk.
+
+    All per-table folded indices and tags — the per-record arithmetic that
+    dominates the scalar predictor — are precomputed as whole columns;
+    the remaining walk drives :meth:`TageState.step` (the *same* update
+    rule the scalar predictor runs), mutating ``state`` in place so
+    streaming sessions can carry it across batches.
+    """
+    entry_bits = state.entry_bits
+    index_mask = (1 << entry_bits) - 1
+    tag_mask = (1 << TAG_BITS) - 1
+    pc_word = pc >> 2
+    base_index = (pc_word & ((1 << (entry_bits + BASE_EXTRA_BITS)) - 1)).tolist()
+    index_columns = []
+    tag_columns = []
+    for length in state.lengths:
+        index_columns.append(
+            (
+                (pc_word ^ _tage_fold_columns(np, histories, length, entry_bits))
+                & index_mask
+            ).tolist()
+        )
+        tag_columns.append(
+            (
+                (
+                    pc_word
+                    ^ _tage_fold_columns(np, histories, length, TAG_BITS)
+                    ^ (_tage_fold_columns(np, histories, length, TAG_BITS - 1) << 1)
+                )
+                & tag_mask
+            ).tolist()
+        )
+    index_rows = list(zip(*index_columns))
+    tag_rows = list(zip(*tag_columns))
+    n = len(taken)
+    out = np.empty(n, dtype=bool)
+    step = state.step
+    taken_list = taken.tolist()
+    for record in range(n):
+        out[record] = step(
+            base_index[record],
+            index_rows[record],
+            tag_rows[record],
+            taken_list[record] == 1,
+        )
+    return out
+
+
 def correct_mask(
     spec: PredictorSpec,
     packed: PackedTrace,
@@ -496,6 +676,21 @@ def correct_mask(
         history = _history_global(np, taken, spec.history_length, 0)
         index = ((pc >> 2) ^ history) & mask
         prediction = _fsm_predictions(np, index, taken, spec.pt_automaton or A2)
+        return prediction == taken_bool
+    if spec.scheme == "Perceptron":
+        assert spec.history_length is not None and spec.rows is not None
+        histories = _history_global(np, taken, spec.history_length, 0)
+        rows_index = (pc >> 2) % spec.rows
+        weights = _perceptron_table(np, spec)
+        prediction = _perceptron_predictions(
+            np, rows_index, histories, taken, spec.history_length, weights
+        )
+        return prediction == taken_bool
+    if spec.scheme == "TAGE":
+        assert spec.tage_tables is not None and spec.history_length is not None
+        state = TageState(spec.tage_tables, spec.tage_entry_bits or DEFAULT_ENTRY_BITS)
+        histories = _history_global(np, taken, spec.history_length, 0)
+        prediction = _tage_predictions(np, pc, histories, taken, state)
         return prediction == taken_bool
     raise KernelError(f"no vector kernel for spec {spec.canonical()!r}")  # pragma: no cover
 

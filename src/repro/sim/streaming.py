@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence, Un
 
 from repro.errors import ConfigError
 from repro.predictors.automata import A2
+from repro.predictors.modern import DEFAULT_ENTRY_BITS, TageState
 from repro.predictors.spec import PredictorSpec, parse_spec
 from repro.sim.kernels import (
     AhrtReplay,
@@ -41,9 +42,12 @@ from repro.sim.kernels import (
     _hash_buckets,
     _history_global,
     _np,
+    _perceptron_predictions,
+    _perceptron_table,
     _profile_bias,
     _preset_bits,
     _segment_positions,
+    _tage_predictions,
     choose_backend,
 )
 from repro.sim.results import PredictionStats
@@ -317,6 +321,16 @@ class VectorStreamingScorer(StreamingScorer):
                 (spec.pt_automaton or A2).init_state,
                 dtype=np.intp,
             )
+        elif scheme == "Perceptron":
+            assert spec.history_length is not None and spec.rows is not None
+            self._weights = _perceptron_table(np, spec)
+            self._global = 0
+        elif scheme == "TAGE":
+            assert spec.tage_tables is not None
+            self._tage = TageState(
+                spec.tage_tables, spec.tage_entry_bits or DEFAULT_ENTRY_BITS
+            )
+            self._global = 0
         elif scheme not in ("AlwaysTaken", "AlwaysNotTaken", "BTFN"):
             raise ConfigError(f"no streaming vector kernel for {spec.canonical()!r}")
 
@@ -429,6 +443,21 @@ class VectorStreamingScorer(StreamingScorer):
             return _fsm_predictions_carried(
                 np, index, taken, spec.pt_automaton or A2, self._pt_states
             )
+        if scheme == "Perceptron":
+            assert spec.history_length is not None and spec.rows is not None
+            histories, self._global = _global_histories_carried(
+                np, taken, spec.history_length, self._global
+            )
+            rows_index = (pc >> 2) % spec.rows
+            return _perceptron_predictions(
+                np, rows_index, histories, taken, spec.history_length, self._weights
+            )
+        if scheme == "TAGE":
+            assert spec.history_length is not None
+            histories, self._global = _global_histories_carried(
+                np, taken, spec.history_length, self._global
+            )
+            return _tage_predictions(np, pc, histories, taken, self._tage)
         raise ConfigError(f"no streaming vector kernel for {spec.canonical()!r}")
 
 
@@ -641,6 +670,12 @@ class VectorMultiSessionScorer(MultiSessionScorer):
             self._pt_bits = spec.history_length
             self._pt_init = (spec.pt_automaton or A2).init_state
             self._pt_states = np.zeros(0, dtype=np.intp)
+        elif scheme in ("Perceptron", "TAGE"):
+            assert spec.history_length is not None
+            # per-slot mutable state (weight table / TageState) plus each
+            # session's carried global history register
+            self._modern: Dict[int, Any] = {}
+            self._modern_ghist: Dict[int, int] = {}
         elif scheme not in ("AlwaysTaken", "AlwaysNotTaken", "BTFN", "AT", "ST", "LS"):
             raise ConfigError(f"no streaming vector kernel for {spec.canonical()!r}")
 
@@ -689,6 +724,14 @@ class VectorMultiSessionScorer(MultiSessionScorer):
         if scheme in ("AT", "GAg", "gshare"):
             bits = self._pt_bits
             self._pt_states[slot << bits:(slot + 1) << bits] = self._pt_init
+        if scheme == "Perceptron":
+            self._modern[slot] = _perceptron_table(np, spec)
+            self._modern_ghist[slot] = 0
+        elif scheme == "TAGE":
+            self._modern[slot] = TageState(
+                spec.tage_tables, spec.tage_entry_bits or DEFAULT_ENTRY_BITS
+            )
+            self._modern_ghist[slot] = 0
         if self._ahrt_template is not None:
             self._ahrt[slot] = AhrtReplay(*self._ahrt_template)
         if preset_row is not None:
@@ -710,6 +753,9 @@ class VectorMultiSessionScorer(MultiSessionScorer):
             self._sweep(self._site_states, slot)
         if scheme in ("GAg", "gshare"):
             self._ghist.pop(slot, None)
+        if scheme in ("Perceptron", "TAGE"):
+            self._modern.pop(slot, None)
+            self._modern_ghist.pop(slot, None)
         if scheme == "Profile":
             self._profiles.pop(slot, None)
             self._profile_keys = None
@@ -900,6 +946,33 @@ class VectorMultiSessionScorer(MultiSessionScorer):
                 spec.pt_automaton or A2,
                 self._pt_states,
             )
+        if scheme in ("Perceptron", "TAGE"):
+            assert spec.history_length is not None
+            # per-slot sub-batches, like the AHRT fused replay: boolean-mask
+            # gathers preserve stream order inside every session, and the
+            # carried history register round-trips through the slot dict
+            out = np.empty(len(pc), dtype=bool)
+            for slot in np.unique(slots):
+                mask = slots == slot
+                slot_index = int(slot)
+                histories, carried = _global_histories_carried(
+                    np, taken[mask], spec.history_length,
+                    self._modern_ghist[slot_index],
+                )
+                self._modern_ghist[slot_index] = carried
+                if scheme == "Perceptron":
+                    assert spec.rows is not None
+                    rows_index = (pc[mask] >> 2) % spec.rows
+                    out[mask] = _perceptron_predictions(
+                        np, rows_index, histories, taken[mask],
+                        spec.history_length, self._modern[slot_index],
+                    )
+                else:
+                    out[mask] = _tage_predictions(
+                        np, pc[mask], histories, taken[mask],
+                        self._modern[slot_index],
+                    )
+            return out
         raise ConfigError(f"no streaming vector kernel for {spec.canonical()!r}")
 
     def _rebuild_profile(self, np: Any) -> None:

@@ -46,13 +46,17 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.errors import KernelError
 from repro.predictors.automata import A2, Automaton
 from repro.predictors.spec import PredictorSpec
+from repro.predictors.modern import DEFAULT_ENTRY_BITS, TageState
 from repro.sim.kernels import (
     _conditional_columns,
     _history_global,
     _hrt_keys,
     _np,
     _composition_tables,
+    _perceptron_predictions,
+    _perceptron_table,
     _profile_bias,
+    _tage_predictions,
     vectorizable,
 )
 from repro.sim.results import PredictionStats
@@ -208,7 +212,9 @@ class TraceContext:
                 self._global_reserve[1] = max(
                     self._global_reserve.get(1, 0), spec.history_length
                 )
-            elif spec.scheme == "gshare":
+            elif spec.scheme in ("gshare", "Perceptron", "TAGE"):
+                # all three share the init-0 global window (TAGE's
+                # history_length is its longest geometric table)
                 self._global_reserve[0] = max(
                     self._global_reserve.get(0, 0), spec.history_length
                 )
@@ -541,6 +547,21 @@ def _direct_mask(
         assert spec.history_length is not None
         preset = _require_training(spec, trainings).preset_bits(spec.history_length)
         return preset[ctx.history(spec)] == ctx.taken_bool
+    if spec.scheme == "Perceptron":
+        assert spec.history_length is not None and spec.rows is not None
+        histories = ctx.global_history(spec.history_length, 0)
+        rows_index = (ctx.pc >> 2) % spec.rows
+        weights = _perceptron_table(np, spec)
+        prediction = _perceptron_predictions(
+            np, rows_index, histories, ctx.taken, spec.history_length, weights
+        )
+        return prediction == ctx.taken_bool
+    if spec.scheme == "TAGE":
+        assert spec.tage_tables is not None and spec.history_length is not None
+        state = TageState(spec.tage_tables, spec.tage_entry_bits or DEFAULT_ENTRY_BITS)
+        histories = ctx.global_history(spec.history_length, 0)
+        prediction = _tage_predictions(np, ctx.pc, histories, ctx.taken, state)
+        return prediction == ctx.taken_bool
     return None
 
 

@@ -45,3 +45,32 @@ def test_fig5_full_automata_rows(trace_cache):
         max_conditional=SCALE, benchmarks=SUBSET, cache=trace_cache
     )
     assert len(report.rows) == 4  # A2, A3, A4, LT
+
+
+def test_fig11_h2p_recovery(trace_cache):
+    """The modern-subsystem acceptance bar: per-site misprediction mass on
+    the static H2P top-5, with at least one modern scheme beating AT(IHRT)
+    on at least one benchmark, and the per-site pipeline bit-exact with
+    the scalar engine."""
+    from repro.experiments.fig11_h2p import AT_SPEC, MODERN_SPECS, SPECS, site_table
+
+    report = get_experiment("fig11").run(
+        max_conditional=8_000, benchmarks=["eqntott", "li"], cache=trace_cache
+    )
+    assert report.all_passed, [str(c) for c in report.failures()]
+    # one row per (benchmark, scheme), AT baseline recovery exactly 0
+    assert len(report.rows) == 2 * len(SPECS)
+    for row in report.rows:
+        if row["scheme"] == AT_SPEC:
+            assert row["recovered vs AT"] == 0.0
+    wins = [
+        row
+        for row in report.rows
+        if row["scheme"] in MODERN_SPECS and row["recovered vs AT"] > 0
+    ]
+    assert wins
+    sites = site_table(
+        max_conditional=8_000, benchmarks=["eqntott"], cache=trace_cache
+    )
+    assert len(sites) == 5
+    assert all(set(SPECS) <= set(row) for row in sites)

@@ -17,6 +17,7 @@ EXPECTED = [
     "fig8",
     "fig9",
     "fig10",
+    "fig11",
 ]
 
 

@@ -49,6 +49,20 @@ class TestStorageCost:
         assert gag.pattern_bits == 2 * 4096
         assert storage_cost("gshare(12)").total_bits == gag.total_bits
 
+    def test_perceptron(self):
+        cost = storage_cost("perceptron(12,512)")
+        assert cost.hrt_bits == 12  # one global history register
+        assert cost.tag_bits == 0
+        assert cost.pattern_bits == 512 * 13 * 8  # 8-bit weights incl. bias
+
+    def test_tage(self):
+        cost = storage_cost("tage(4,9)")
+        entries = 4 * 512
+        assert cost.hrt_bits == 32  # longest geometric history
+        assert cost.tag_bits == entries * 8
+        # base bimodal 2^(9+2) 2-bit counters + (ctr3 + u2 + valid) per entry
+        assert cost.pattern_bits == 2 * 2048 + entries * 6
+
     def test_longer_history_doubles_pattern_storage(self):
         short = storage_cost("AT(AHRT(512,10SR),PT(2^10,A2),)")
         long = storage_cost("AT(AHRT(512,12SR),PT(2^12,A2),)")

@@ -118,6 +118,45 @@ class TestSimpleSchemes:
         assert gshare.pattern_table.automaton.name == "A3"
 
 
+class TestParseModern:
+    def test_perceptron(self):
+        from repro.predictors.modern import PerceptronPredictor
+
+        spec = parse_spec("perceptron(12,512)")
+        assert spec.scheme == "Perceptron"
+        assert spec.history_length == 12
+        assert spec.rows == 512
+        assert isinstance(spec.build(), PerceptronPredictor)
+
+    def test_perceptron_default_rows(self):
+        from repro.predictors.modern import DEFAULT_ROWS
+
+        spec = parse_spec("perceptron(8)")
+        assert spec.rows == DEFAULT_ROWS
+        assert spec.canonical() == f"perceptron(8,{DEFAULT_ROWS})"
+
+    def test_tage(self):
+        from repro.predictors.modern import TagePredictor, tage_geometries
+
+        spec = parse_spec("tage(4,9)")
+        assert spec.scheme == "TAGE"
+        assert spec.tage_tables == 4
+        assert spec.tage_entry_bits == 9
+        # history_length doubles as the longest geometric table length
+        assert spec.history_length == tage_geometries(4)[-1] == 32
+        assert isinstance(spec.build(), TagePredictor)
+
+    def test_tage_default_entry_bits(self):
+        from repro.predictors.modern import DEFAULT_ENTRY_BITS
+
+        spec = parse_spec("tage(2)")
+        assert spec.canonical() == f"tage(2,{DEFAULT_ENTRY_BITS})"
+
+    def test_case_and_whitespace_tolerant(self):
+        assert parse_spec(" Perceptron( 12 , 512 ) ").canonical() == "perceptron(12,512)"
+        assert parse_spec("TAGE(4,9)").canonical() == "tage(4,9)"
+
+
 class TestErrors:
     @pytest.mark.parametrize(
         "bad",
@@ -132,6 +171,13 @@ class TestErrors:
             "ST(IHRT(,12SR),PT(2^12,PB),Sometimes)",
             "AT(AHRT(abc,12SR),PT(2^12,A2),)",
             "AT(AHRT(512,12SR),PT(2^12,A2)",  # unbalanced paren
+            "perceptron(0)",  # history length out of range
+            "perceptron(63)",  # beyond MAX_HISTORY
+            "perceptron(12,0)",  # rows must be >= 1
+            "tage(0)",  # at least one tagged table
+            "tage(5)",  # beyond MAX_TABLES
+            "tage(4,0)",  # entry bits out of range
+            "tage(4,17)",
         ],
     )
     def test_rejected(self, bad):
@@ -151,6 +197,8 @@ class TestCanonicalRoundTrip:
             "LS(IHRT(,A2),,)",
             "BTFN",
             "GAg(8,A2)",
+            "perceptron(12,512)",
+            "tage(4,9)",
         ],
     )
     def test_canonical_fixed_point(self, text):

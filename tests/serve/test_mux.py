@@ -38,6 +38,8 @@ MUX_SPECS = [
     "AT(AHRT(4,4SR),PT(2^4,A2),)",
     "LS(HHRT(4,A2),,)",
     "ST(IHRT(,6SR),PT(2^6,PB),Same)",
+    "perceptron(4,1)",
+    "tage(1,3)",
 ]
 
 _RECORD = st.builds(

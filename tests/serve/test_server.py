@@ -41,6 +41,8 @@ FAMILY_SPECS = [
     "gshare(8,A2)",
     "AT(AHRT(512,6SR),PT(2^6,A2),)",
     "LS(HHRT(256,A2),,)",
+    "perceptron(8,16)",
+    "tage(2,5)",
 ]
 
 BACKENDS = ["scalar", "vector"] if has_numpy() else ["scalar"]

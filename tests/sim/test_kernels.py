@@ -54,6 +54,21 @@ VECTOR_SPECS = [
     "gshare(8,A2)",
 ]
 
+#: modern subsystem (repro.predictors.modern): the perceptron's row-bucketed
+#: speculative scan and TAGE's columnar-hash + sequential-state walk.  The
+#: degenerate geometries matter: perceptron(4,1) forces every branch onto
+#: one weight vector (maximal aliasing), tage(1,3) has a single tiny tagged
+#: table so allocation constantly evicts.
+MODERN_SPECS = [
+    "perceptron(12,512)",
+    "perceptron(4,1)",
+    "perceptron(20,64)",
+    "tage(4,9)",
+    "tage(2,5)",
+    "tage(1,3)",
+]
+VECTOR_SPECS = VECTOR_SPECS + MODERN_SPECS
+
 #: finite-HRT specs — vectorized by remapping each record to its *register*
 #: key (LRU replay for AHRT, hash re-keying for HHRT) before the bucket
 #: replay.  The tiny tables matter: with the six-pc record pool, AHRT(4,..)
@@ -123,8 +138,15 @@ class TestKernelProperty:
 class TestKernelWorkloads:
     """Bit-exactness on every workload variant the repo ships."""
 
-    #: one spec per kernel shape: two-level FSM, per-address FSM, stateless.
-    PROBE_SPECS = ["AT(IHRT(,6SR),PT(2^6,A2),)", "LS(IHRT(,LT),,)", "BTFN"]
+    #: one spec per kernel shape: two-level FSM, per-address FSM, stateless,
+    #: and the two modern decompositions (row-bucketed perceptron, TAGE).
+    PROBE_SPECS = [
+        "AT(IHRT(,6SR),PT(2^6,A2),)",
+        "LS(IHRT(,LT),,)",
+        "BTFN",
+        "perceptron(12,512)",
+        "tage(4,9)",
+    ]
 
     def _variants(self):
         for name in workload_names():

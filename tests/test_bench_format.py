@@ -1,0 +1,51 @@
+"""BENCH_kernels.json trend format: dated entries, legacy auto-convert."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.bench_kernels import load_trend_entries
+
+LEGACY = {
+    "kernels": {"benchmark": "eqntott", "families": []},
+    "end_to_end": {"benchmark": "eqntott", "warm_speedup": 290.7},
+}
+
+
+def test_trend_file_parses(tmp_path):
+    path = tmp_path / "BENCH_kernels.json"
+    path.write_text(
+        json.dumps({"entries": [{"date": "2026-08-07", "kernels": {}}]})
+    )
+    entries = load_trend_entries(path)
+    assert entries == [{"date": "2026-08-07", "kernels": {}}]
+
+
+def test_legacy_payload_becomes_first_entry(tmp_path):
+    path = tmp_path / "BENCH_kernels.json"
+    path.write_text(json.dumps(LEGACY))
+    entries = load_trend_entries(path)
+    assert len(entries) == 1
+    assert entries[0]["date"] is None
+    assert entries[0]["kernels"] == LEGACY["kernels"]
+    assert entries[0]["end_to_end"] == LEGACY["end_to_end"]
+
+
+def test_missing_or_corrupt_file_is_empty(tmp_path):
+    assert load_trend_entries(tmp_path / "absent.json") == []
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert load_trend_entries(bad) == []
+
+
+def test_checked_in_file_is_trend_format():
+    path = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    payload = json.loads(path.read_text())
+    assert isinstance(payload.get("entries"), list) and payload["entries"]
+    for entry in payload["entries"]:
+        assert "date" in entry
+    # the modern families are part of the recorded kernel bench
+    latest = payload["entries"][-1]["kernels"]["families"]
+    recorded = {row["family"] for row in latest}
+    assert {"perceptron", "TAGE"} <= recorded
